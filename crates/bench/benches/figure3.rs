@@ -1,0 +1,53 @@
+//! Criterion bench for Figure 3: one full (workload × protocol) runtime
+//! comparison per topology at a reduced scale. The *simulated* runtimes —
+//! the figure itself — are printed at the end; criterion tracks the host
+//! cost of regenerating each bar.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss_workloads::paper;
+
+const SCALE: f64 = 1.0 / 400.0;
+
+fn run(workload: usize, protocol: ProtocolKind, topology: TopologyKind) -> u64 {
+    let spec = &paper::all(SCALE)[workload];
+    let mut cfg = SystemConfig::paper_default(protocol, topology);
+    cfg.seed = 1;
+    System::run_workload(cfg, spec).stats.runtime.as_ns()
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure3_cells");
+    g.sample_size(10);
+    // One representative workload per group to keep bench time sane;
+    // the fig3 binary runs the full grid.
+    for (w, name) in [(0usize, "OLTP"), (1, "DSS")] {
+        for protocol in ProtocolKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(name, protocol),
+                &(w, protocol),
+                |bench, &(w, p)| {
+                    bench.iter(|| {
+                        std::hint::black_box(run(w, p, TopologyKind::Butterfly16))
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+
+    eprintln!("\nsimulated normalized runtimes (butterfly, scale {SCALE}):");
+    for (w, name) in paper::all(SCALE).iter().enumerate().map(|(i, s)| (i, s.name.clone())) {
+        let ts = run(w, ProtocolKind::TsSnoop, TopologyKind::Butterfly16) as f64;
+        let dc = run(w, ProtocolKind::DirClassic, TopologyKind::Butterfly16) as f64;
+        let dopt = run(w, ProtocolKind::DirOpt, TopologyKind::Butterfly16) as f64;
+        eprintln!(
+            "  {name:<10} TS-Snoop 1.00  DirClassic {:.2}  DirOpt {:.2}",
+            dc / ts,
+            dopt / ts
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Table 2: the latency of a single cache-to-cache
+//! miss under each protocol and topology (the quantity the paper's Table 2
+//! tabulates and §5 credits for the runtime wins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss_proto::{Block, CpuOp};
+use tss_workloads::TraceItem;
+
+fn c2c_once(protocol: ProtocolKind, topology: TopologyKind) -> u64 {
+    let b = Block(5);
+    let mut traces = vec![Vec::new(); 16];
+    traces[1].push(TraceItem { gap_instructions: 4, op: CpuOp::Store(b) });
+    traces[9].push(TraceItem { gap_instructions: 40_000, op: CpuOp::Load(b) });
+    let cfg = SystemConfig::paper_default(protocol, topology);
+    let r = System::run_traces(cfg, traces);
+    r.stats.miss_latency_per_node[9].max().unwrap().as_ns()
+}
+
+fn bench_c2c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_c2c_miss");
+    g.sample_size(20);
+    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+        for protocol in ProtocolKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(topology.label(), protocol),
+                &(protocol, topology),
+                |bench, &(p, t)| {
+                    // Report the simulated latency once; benchmark the
+                    // host cost of simulating one miss end to end.
+                    bench.iter(|| std::hint::black_box(c2c_once(p, t)));
+                },
+            );
+        }
+    }
+    g.finish();
+    // Print the simulated latencies alongside (the actual Table 2 values).
+    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+        for protocol in ProtocolKind::ALL {
+            eprintln!(
+                "simulated c2c latency [{} / {}]: {} ns",
+                topology.label(),
+                protocol,
+                c2c_once(protocol, topology)
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_c2c);
+criterion_main!(benches);

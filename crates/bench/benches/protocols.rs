@@ -1,0 +1,47 @@
+//! Criterion benches for the protocol engines: host-side throughput of
+//! simulating the ping-pong microbenchmark (all-miss, all-coherence) under
+//! each protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss_workloads::micro;
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_ping_pong");
+    g.throughput(Throughput::Elements(400));
+    for protocol in ProtocolKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, &p| {
+                b.iter(|| {
+                    let cfg = SystemConfig::paper_default(p, TopologyKind::Torus4x4);
+                    let r = System::run_traces(cfg, micro::ping_pong(200, 2000));
+                    std::hint::black_box(r.stats.protocol.misses)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lock_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_lock_storm");
+    for protocol in ProtocolKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, &p| {
+                b.iter(|| {
+                    let cfg = SystemConfig::paper_default(p, TopologyKind::Butterfly16);
+                    let r = System::run_traces(cfg, micro::lock_storm(16, 10, 3, 30));
+                    std::hint::black_box(r.stats.protocol.nacks)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ping_pong, bench_lock_storm);
+criterion_main!(benches);

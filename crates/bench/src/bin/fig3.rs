@@ -1,0 +1,48 @@
+//! Regenerates **Figure 3: Normalized Runtime with Butterfly (left) and
+//! Torus (right)** — runtimes of TS-Snoop, DirClassic and DirOpt on the
+//! five workloads, normalised to TS-Snoop (smaller is better).
+//!
+//! Paper result: TS-Snoop runs 10–28 % / 6–28 % faster than DirClassic /
+//! DirOpt on the butterfly, and 15–29 % / 6–23 % on the torus; DirClassic
+//! on DSS is pathological (> 2× — the paper omits those bars).
+
+use tss::ProtocolKind;
+use tss_bench::{dump_json, run_cell, Cell, Options, TOPOLOGIES};
+use tss_workloads::paper;
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "Figure 3: Normalized runtime (TS-Snoop = 1.00; scale {:.4}, min of {} perturbed runs)",
+        opts.scale, opts.seeds
+    );
+    let mut all_cells: Vec<Cell> = Vec::new();
+    for topo in TOPOLOGIES {
+        println!("\n[{}]", topo.label());
+        println!(
+            "{:<10} {:>9} {:>11} {:>8} {:>22}",
+            "workload", "TS-Snoop", "DirClassic", "DirOpt", "(faster-than: DC, DO)"
+        );
+        for spec in paper::all(opts.scale) {
+            let cells: Vec<Cell> = ProtocolKind::ALL
+                .iter()
+                .map(|&p| run_cell(&opts, &spec, topo, p))
+                .collect();
+            let base = cells[0].runtime_ns as f64;
+            let ratio = |c: &Cell| c.runtime_ns as f64 / base;
+            // "X is n% faster than Y" means TimeY/TimeX - 1 = n% (paper fn 4).
+            let faster = |c: &Cell| (c.runtime_ns as f64 / base - 1.0) * 100.0;
+            println!(
+                "{:<10} {:>9.2} {:>11.2} {:>8.2} {:>14.0}% {:>6.0}%",
+                spec.name,
+                1.00,
+                ratio(&cells[1]),
+                ratio(&cells[2]),
+                faster(&cells[1]),
+                faster(&cells[2]),
+            );
+            all_cells.extend(cells);
+        }
+    }
+    dump_json("fig3", &all_cells);
+}

@@ -1,0 +1,57 @@
+//! Regenerates **Figure 4: Normalized Link Traffic with Butterfly (left)
+//! and Torus (right)** — per-link traffic of the three protocols split
+//! into Data / Request / Nack / Misc classes, normalised to TS-Snoop.
+//!
+//! Paper result: TS-Snoop uses 13–43 % more link bandwidth than the
+//! directory protocols on the butterfly and 17–37 % more on the torus
+//! (equivalently, directories use 12–30 % less).
+
+use tss::ProtocolKind;
+use tss_bench::{dump_json, run_cell, Cell, Options, TOPOLOGIES};
+use tss_workloads::paper;
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "Figure 4: Normalized link traffic (TS-Snoop = 1.00; scale {:.4})",
+        opts.scale
+    );
+    let mut all_cells: Vec<Cell> = Vec::new();
+    for topo in TOPOLOGIES {
+        println!("\n[{}]", topo.label());
+        println!(
+            "{:<10} {:<11} {:>6} {:>7} {:>6} {:>6} {:>7} {:>11}",
+            "workload", "protocol", "Data", "Request", "Nack", "Misc", "total", "(TS extra)"
+        );
+        for spec in paper::all(opts.scale) {
+            let cells: Vec<Cell> = ProtocolKind::ALL
+                .iter()
+                .map(|&p| run_cell(&opts, &spec, topo, p))
+                .collect();
+            let base = cells[0].total_bytes() as f64;
+            for c in &cells {
+                let t = c.total_bytes() as f64;
+                let share = |x: u64| x as f64 / base;
+                let extra = if c.protocol == "TS-Snoop" {
+                    String::new()
+                } else {
+                    format!("{:>+9.0}%", (base / t - 1.0) * 100.0)
+                };
+                println!(
+                    "{:<10} {:<11} {:>6.2} {:>7.2} {:>6.2} {:>6.2} {:>7.2} {:>11}",
+                    c.workload,
+                    c.protocol,
+                    share(c.data_bytes),
+                    share(c.request_bytes),
+                    share(c.nack_bytes),
+                    share(c.misc_bytes),
+                    t / base,
+                    extra
+                );
+            }
+            all_cells.extend(cells);
+        }
+    }
+    println!("\n(TS extra) = how much more link bandwidth TS-Snoop uses than that protocol.");
+    dump_json("fig4", &all_cells);
+}

@@ -1,0 +1,207 @@
+//! Closed-form models: the unloaded latencies of Table 2 and the
+//! back-of-the-envelope bandwidth bounds of §5.
+//!
+//! These serve two purposes: they regenerate the paper's Table 2 rows, and
+//! they cross-validate the event-driven simulator (integration tests
+//! compare measured single-miss latencies against these values, the way
+//! the paper validated against Sun E6000 hardware counters).
+
+use tss_net::{Fabric, MsgClass, NodeId};
+
+use crate::config::Timing;
+
+/// One topology's Table 2 rows, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnloadedLatencies {
+    /// One-way network latency (mean over all source/destination pairs).
+    pub one_way_mean: f64,
+    /// One-way network latency to the furthest destination.
+    pub one_way_max: f64,
+    /// Block from memory: `Dnet + Dmem + Dnet`.
+    pub from_memory: f64,
+    /// Block from cache with timestamp snooping: `Dnet + Dcache + Dnet`.
+    pub c2c_snooping: f64,
+    /// Block from cache with a directory ("3 hops"):
+    /// `Dnet + Dmem + Dnet + Dcache + Dnet`.
+    pub c2c_directory: f64,
+}
+
+/// Computes the Table 2 rows for `fabric` under `timing`.
+///
+/// # Example
+///
+/// ```
+/// use tss::analytic::unloaded_latencies;
+/// use tss::Timing;
+/// use tss_net::Fabric;
+///
+/// let t = unloaded_latencies(&Fabric::butterfly16(), &Timing::default());
+/// assert_eq!(t.one_way_mean, 49.0);   // Dovh + 3*Dswitch
+/// assert_eq!(t.from_memory, 178.0);
+/// assert_eq!(t.c2c_snooping, 123.0);
+/// assert_eq!(t.c2c_directory, 252.0);
+/// ```
+pub fn unloaded_latencies(fabric: &Fabric, timing: &Timing) -> UnloadedLatencies {
+    let d_ovh = timing.d_ovh.as_ns() as f64;
+    let d_switch = timing.d_switch.as_ns() as f64;
+    let one_way_mean = d_ovh + d_switch * mean_delivery_depth(fabric);
+    let one_way_max = d_ovh + d_switch * fabric.max_distance() as f64;
+    let d_mem = timing.d_mem.as_ns() as f64;
+    let d_cache = timing.d_cache.as_ns() as f64;
+    UnloadedLatencies {
+        one_way_mean,
+        one_way_max,
+        from_memory: one_way_mean + d_mem + one_way_mean,
+        c2c_snooping: one_way_mean + d_cache + one_way_mean,
+        c2c_directory: one_way_mean + d_mem + one_way_mean + d_cache + one_way_mean,
+    }
+}
+
+/// Mean network-delivery distance in links, averaged over all
+/// (source, destination) pairs *as the paper counts them*: the broadcast
+/// tree's delivery depth. On the butterfly every delivery (including to
+/// the source itself) traverses 3 links; on the torus the mean is 2.
+fn mean_delivery_depth(fabric: &Fabric) -> f64 {
+    let n = fabric.num_nodes();
+    let total: u64 = (0..n)
+        .flat_map(|s| {
+            fabric
+                .tree(0, NodeId(s as u16))
+                .node_depth_weighted
+                .iter()
+                .map(|&d| d as u64)
+        })
+        .sum();
+    total as f64 / (n * n) as f64
+}
+
+/// The §5 per-miss bandwidth accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthBound {
+    /// Link-bytes for one snooping miss: address over the broadcast tree
+    /// plus one data response over the mean unicast path.
+    pub snooping_bytes: f64,
+    /// Link-bytes for one minimal directory miss: one request plus one
+    /// data response, each over the mean unicast path.
+    pub directory_bytes: f64,
+}
+
+impl BandwidthBound {
+    /// The upper bound on snooping's extra bandwidth per miss
+    /// (`snooping/directory - 1`; §5 quotes 60 % for the 16-node butterfly
+    /// at 64-byte blocks and 33 % at 128-byte blocks).
+    pub fn extra_fraction(&self) -> f64 {
+        self.snooping_bytes / self.directory_bytes - 1.0
+    }
+}
+
+/// Computes the per-miss bandwidth bound on `fabric` with the given block
+/// size.
+///
+/// Uses the *mean* broadcast-tree link count and mean unicast distance, so
+/// it generalises to any topology and system size (the §5 sensitivity
+/// discussion).
+///
+/// # Example
+///
+/// ```
+/// use tss::analytic::bandwidth_bound;
+/// use tss_net::Fabric;
+///
+/// let b = bandwidth_bound(&Fabric::butterfly16(), 64);
+/// assert_eq!(b.snooping_bytes, 384.0);   // 21*8 + 3*72
+/// assert_eq!(b.directory_bytes, 240.0);  // 3*8 + 3*72
+/// assert!((b.extra_fraction() - 0.6).abs() < 1e-9);
+/// ```
+pub fn bandwidth_bound(fabric: &Fabric, block_bytes: u64) -> BandwidthBound {
+    let n = fabric.num_nodes();
+    let req = MsgClass::Request.bytes_with_block(block_bytes) as f64;
+    let data = MsgClass::Data.bytes_with_block(block_bytes) as f64;
+
+    // Mean broadcast-tree weighted link count over sources (identical for
+    // every source on the paper's topologies).
+    let tree_links: f64 = (0..n)
+        .map(|s| fabric.tree(0, NodeId(s as u16)).weighted_link_count as f64)
+        .sum::<f64>()
+        / n as f64;
+    // The paper's accounting uses the network delivery distance (3.0
+    // links on the 16-node butterfly: 21*8 + 3*72 = 384 bytes).
+    let mean_dist = mean_delivery_depth(fabric);
+
+    BandwidthBound {
+        snooping_bytes: tree_links * req + mean_dist * data,
+        directory_bytes: mean_dist * req + mean_dist * data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tss_sim::Duration;
+
+    #[test]
+    fn butterfly_table2_rows() {
+        let t = unloaded_latencies(&Fabric::butterfly16(), &Timing::default());
+        // Every butterfly delivery is 3 links, including to the source.
+        assert_eq!(t.one_way_mean, 49.0);
+        assert_eq!(t.one_way_max, 49.0);
+        assert_eq!(t.from_memory, 178.0);
+        assert_eq!(t.c2c_snooping, 123.0);
+        assert_eq!(t.c2c_directory, 252.0);
+    }
+
+    #[test]
+    fn torus_table2_rows() {
+        let t = unloaded_latencies(&Fabric::torus4x4(), &Timing::default());
+        assert_eq!(t.one_way_mean, 34.0); // Dovh + 2*Dswitch (mean)
+        assert_eq!(t.one_way_max, 64.0); // Dovh + 4*Dswitch
+        assert_eq!(t.from_memory, 148.0);
+        assert_eq!(t.c2c_snooping, 93.0);
+        assert_eq!(t.c2c_directory, 207.0);
+    }
+
+    #[test]
+    fn custom_timing_scales_rows() {
+        let timing = Timing {
+            d_switch: Duration::from_ns(30),
+            ..Timing::default()
+        };
+        let t = unloaded_latencies(&Fabric::torus4x4(), &timing);
+        assert_eq!(t.one_way_mean, 64.0);
+    }
+
+    #[test]
+    fn block_size_sensitivity_matches_paper() {
+        // §5: "Doubling the block size on a 16-node butterfly ... reduces
+        // the upper limit on the extra bandwidth per miss of timestamp
+        // snooping to 33%."
+        let f = Fabric::butterfly16();
+        let b64 = bandwidth_bound(&f, 64);
+        let b128 = bandwidth_bound(&f, 128);
+        assert!((b64.extra_fraction() - 0.60).abs() < 1e-9);
+        assert!((b128.extra_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn system_size_sensitivity() {
+        // "Increasing the number of processors increases the cost of
+        // broadcasting each transaction" — the bound grows with N...
+        let b16 = bandwidth_bound(&Fabric::butterfly(4, 2, 1), 64);
+        let b64 = bandwidth_bound(&Fabric::butterfly(4, 3, 1), 64);
+        assert!(b64.extra_fraction() > b16.extra_fraction());
+        // "...conversely, reducing system size to 8 or 4 processors
+        // reduces the bandwidth requirements of timestamp snooping."
+        let b4 = bandwidth_bound(&Fabric::torus(2, 2), 64);
+        let bt16 = bandwidth_bound(&Fabric::torus4x4(), 64);
+        assert!(b4.extra_fraction() < bt16.extra_fraction());
+    }
+
+    #[test]
+    fn torus_bound_uses_fifteen_tree_links() {
+        let b = bandwidth_bound(&Fabric::torus4x4(), 64);
+        // 15 broadcast links; mean delivery distance 2 links.
+        let d = 2.0;
+        assert!((b.snooping_bytes - (15.0 * 8.0 + d * 72.0)).abs() < 1e-9);
+        assert!((b.directory_bytes - (d * 8.0 + d * 72.0)).abs() < 1e-9);
+    }
+}

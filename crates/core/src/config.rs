@@ -1,0 +1,199 @@
+//! System configuration: protocol × topology × timing (§4.2, Table 2).
+
+use tss_net::{Fabric, FabricKind};
+use tss_proto::CacheConfig;
+use tss_sim::Duration;
+
+/// Which coherence protocol to run (§4.2 "Protocols").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Timestamp snooping (the paper's contribution).
+    TsSnoop,
+    /// SGI-Origin-style directory with nacks.
+    DirClassic,
+    /// Nack-free directory with an ordered forward network.
+    DirOpt,
+}
+
+impl ProtocolKind {
+    /// All three protocols, in Figure 3 legend order.
+    pub const ALL: [ProtocolKind; 3] =
+        [ProtocolKind::TsSnoop, ProtocolKind::DirClassic, ProtocolKind::DirOpt];
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProtocolKind::TsSnoop => "TS-Snoop",
+            ProtocolKind::DirClassic => "DirClassic",
+            ProtocolKind::DirOpt => "DirOpt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which interconnect to build (§4.2 "Networks", Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Four parallel radix-4 butterflies over 16 nodes.
+    Butterfly16,
+    /// A 4×4 bidirectional torus.
+    Torus4x4,
+    /// A custom butterfly (scaling ablations).
+    Butterfly {
+        /// Switch radix.
+        radix: u32,
+        /// Stage count (`nodes = radix^stages`).
+        stages: u32,
+        /// Parallel plane count.
+        planes: u32,
+    },
+    /// A custom torus (scaling ablations).
+    Torus {
+        /// Mesh width.
+        width: u32,
+        /// Mesh height.
+        height: u32,
+    },
+}
+
+impl TopologyKind {
+    /// Builds the fabric.
+    pub fn build(self) -> Fabric {
+        match self {
+            TopologyKind::Butterfly16 => Fabric::butterfly16(),
+            TopologyKind::Torus4x4 => Fabric::torus4x4(),
+            TopologyKind::Butterfly { radix, stages, planes } => {
+                Fabric::butterfly(radix, stages, planes)
+            }
+            TopologyKind::Torus { width, height } => Fabric::torus(width, height),
+        }
+    }
+
+    /// Short label for tables ("butterfly" / "torus").
+    pub fn label(self) -> &'static str {
+        match self.build().kind() {
+            FabricKind::Butterfly { .. } => "butterfly",
+            FabricKind::Torus { .. } => "torus",
+        }
+    }
+}
+
+/// All timing knobs, defaulting to Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Enter/exit the network (`D_ovh`).
+    pub d_ovh: Duration,
+    /// Per-link/switch traversal (`D_switch`).
+    pub d_switch: Duration,
+    /// Directory/memory access (`D_mem`).
+    pub d_mem: Duration,
+    /// Cache access from the network (`D_cache`).
+    pub d_cache: Duration,
+    /// Logical-tick period of the timestamp network.
+    pub tick: Duration,
+    /// Initial slack `S` at injection.
+    pub initial_slack: u64,
+    /// §3 optimisation 1 (prefetch on early arrival).
+    pub prefetch: bool,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            d_ovh: Duration::from_ns(4),
+            d_switch: Duration::from_ns(15),
+            d_mem: Duration::from_ns(80),
+            d_cache: Duration::from_ns(25),
+            tick: Duration::from_ns(1),
+            initial_slack: 0,
+            prefetch: true,
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Coherence protocol.
+    pub protocol: ProtocolKind,
+    /// Interconnect topology.
+    pub topology: TopologyKind,
+    /// L2 cache geometry (paper: 4 MB, 4-way, 64 B blocks).
+    pub cache: CacheConfig,
+    /// Network and controller timing (Table 2).
+    pub timing: Timing,
+    /// Processor speed: instructions completed per nanosecond with a
+    /// perfect memory system (paper: 4).
+    pub instructions_per_ns: u64,
+    /// Maximum uniform random delay added to every protocol response
+    /// (the §4.3 perturbation methodology); 0 disables.
+    pub perturbation_ns: u64,
+    /// Seed for workload generation and perturbation.
+    pub seed: u64,
+    /// Enable the coherence checker (tests on; long benchmark runs off).
+    pub verify: bool,
+    /// Record per-operation observed values (litmus tests only — memory
+    /// heavy on long runs).
+    pub record_observations: bool,
+}
+
+impl SystemConfig {
+    /// The paper's baseline: 16 nodes, Table 2 timing, 4 MB caches.
+    pub fn paper_default(protocol: ProtocolKind, topology: TopologyKind) -> Self {
+        SystemConfig {
+            protocol,
+            topology,
+            cache: CacheConfig::paper_default(),
+            timing: Timing::default(),
+            instructions_per_ns: 4,
+            perturbation_ns: 0,
+            seed: 0,
+            verify: false,
+            record_observations: false,
+        }
+    }
+
+    /// A small verified configuration for tests: tiny caches so evictions
+    /// and writebacks are exercised, checker on.
+    pub fn test_default(protocol: ProtocolKind, topology: TopologyKind) -> Self {
+        SystemConfig {
+            cache: CacheConfig::tiny(256, 4),
+            verify: true,
+            ..SystemConfig::paper_default(protocol, topology)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_builders() {
+        assert_eq!(TopologyKind::Butterfly16.build().num_nodes(), 16);
+        assert_eq!(TopologyKind::Torus4x4.build().num_nodes(), 16);
+        assert_eq!(
+            TopologyKind::Torus { width: 8, height: 8 }.build().num_nodes(),
+            64
+        );
+        assert_eq!(TopologyKind::Butterfly16.label(), "butterfly");
+        assert_eq!(TopologyKind::Torus4x4.label(), "torus");
+    }
+
+    #[test]
+    fn default_timing_is_table2() {
+        let t = Timing::default();
+        assert_eq!(t.d_ovh.as_ns(), 4);
+        assert_eq!(t.d_switch.as_ns(), 15);
+        assert_eq!(t.d_mem.as_ns(), 80);
+        assert_eq!(t.d_cache.as_ns(), 25);
+        assert!(t.prefetch);
+    }
+
+    #[test]
+    fn protocol_display() {
+        assert_eq!(ProtocolKind::TsSnoop.to_string(), "TS-Snoop");
+        assert_eq!(ProtocolKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! The blocking in-order processor model (§4.3 "Processor Model").
+//!
+//! "We use Simics to approximate a processor core and level one caches
+//! that execute 4 billion instructions per second and generate blocking
+//! requests to the level two data cache." Each CPU turns a
+//! [`TraceItem`](tss_workloads::TraceItem) stream into timed L2 requests:
+//! `gap_instructions` of compute at `instructions_per_ns`, then one memory
+//! operation that blocks until the protocol completes it.
+
+use tss_proto::CpuOp;
+use tss_sim::{Duration, Time};
+use tss_workloads::TraceItem;
+
+/// One processor's execution state.
+pub struct Cpu {
+    trace: Box<dyn Iterator<Item = TraceItem> + Send>,
+    /// Instruction-to-time conversion remainder (exact at any IPC).
+    carry_instructions: u64,
+    instructions_per_ns: u64,
+    /// The op currently at the L2 (issued, not yet complete).
+    outstanding: Option<(CpuOp, Time)>,
+    /// Completion time of the last finished operation.
+    pub last_completion: Time,
+    /// Total instructions executed.
+    pub instructions: u64,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("outstanding", &self.outstanding)
+            .field("finished", &self.finished)
+            .field("instructions", &self.instructions)
+            .finish()
+    }
+}
+
+impl Cpu {
+    /// Wraps a trace. `instructions_per_ns` is the perfect-memory IPC×GHz
+    /// product (4 in the paper).
+    pub fn new(
+        trace: Box<dyn Iterator<Item = TraceItem> + Send>,
+        instructions_per_ns: u64,
+    ) -> Self {
+        assert!(instructions_per_ns > 0, "CPU must retire instructions");
+        Cpu {
+            trace,
+            carry_instructions: 0,
+            instructions_per_ns,
+            outstanding: None,
+            last_completion: Time::ZERO,
+            instructions: 0,
+            finished: false,
+        }
+    }
+
+    /// Converts an instruction count to compute time, carrying remainders
+    /// so long runs stay exact.
+    fn compute_time(&mut self, instructions: u64) -> Duration {
+        let total = self.carry_instructions + instructions;
+        self.carry_instructions = total % self.instructions_per_ns;
+        Duration::from_ns(total / self.instructions_per_ns)
+    }
+
+    /// Fetches the next trace item; returns the issue time of its memory
+    /// op, or `None` when the trace is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is still outstanding (the blocking model).
+    pub fn advance(&mut self, now: Time) -> Option<(Time, CpuOp)> {
+        assert!(self.outstanding.is_none(), "CPU is blocked on a miss");
+        match self.trace.next() {
+            Some(item) => {
+                self.instructions += item.gap_instructions;
+                let at = now + self.compute_time(item.gap_instructions);
+                Some((at, item.op))
+            }
+            None => {
+                self.finished = true;
+                None
+            }
+        }
+    }
+
+    /// Marks `op` as issued at `now`.
+    pub fn issue(&mut self, now: Time, op: CpuOp) {
+        assert!(self.outstanding.is_none(), "CPU is blocked on a miss");
+        self.outstanding = Some((op, now));
+    }
+
+    /// The protocol completed the outstanding op; returns `(op, latency)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was outstanding.
+    pub fn complete(&mut self, now: Time) -> (CpuOp, Duration) {
+        let (op, issued) = self.outstanding.take().expect("completion without an op");
+        self.last_completion = now;
+        (op, now.since(issued))
+    }
+
+    /// Whether the trace is exhausted and nothing is outstanding.
+    pub fn is_finished(&self) -> bool {
+        self.finished && self.outstanding.is_none()
+    }
+
+    /// Whether an operation is at the L2 right now.
+    pub fn is_blocked(&self) -> bool {
+        self.outstanding.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tss_proto::Block;
+
+    fn items(v: Vec<(u64, CpuOp)>) -> Box<dyn Iterator<Item = TraceItem> + Send> {
+        Box::new(
+            v.into_iter()
+                .map(|(gap_instructions, op)| TraceItem { gap_instructions, op }),
+        )
+    }
+
+    #[test]
+    fn four_instructions_per_ns() {
+        let mut cpu = Cpu::new(
+            items(vec![(8, CpuOp::Load(Block(1))), (2, CpuOp::Load(Block(2)))]),
+            4,
+        );
+        let (at, _) = cpu.advance(Time::ZERO).unwrap();
+        assert_eq!(at, Time::from_ns(2)); // 8 instructions / 4 per ns
+        cpu.issue(at, CpuOp::Load(Block(1)));
+        let (_, lat) = cpu.complete(Time::from_ns(100));
+        assert_eq!(lat, Duration::from_ns(98));
+        // 2 instructions: carry accumulates (0 ns now, 1 ns owed later).
+        let (at2, _) = cpu.advance(Time::from_ns(100)).unwrap();
+        assert_eq!(at2, Time::from_ns(100));
+    }
+
+    #[test]
+    fn remainder_carries_exactly() {
+        // 10 items of 1 instruction at 4/ns should take 2.5 -> 2 ns total
+        // (floor with carry), not 0.
+        let ops: Vec<(u64, CpuOp)> = (0..10).map(|_| (1, CpuOp::Load(Block(1)))).collect();
+        let mut cpu = Cpu::new(items(ops), 4);
+        let mut now = Time::ZERO;
+        let mut total = Duration::ZERO;
+        while let Some((at, op)) = cpu.advance(now) {
+            total += at.since(now);
+            now = at;
+            cpu.issue(now, op);
+            cpu.complete(now);
+        }
+        assert_eq!(total, Duration::from_ns(2));
+        assert_eq!(cpu.instructions, 10);
+        assert!(cpu.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "blocked")]
+    fn cannot_advance_while_blocked() {
+        let mut cpu = Cpu::new(items(vec![(1, CpuOp::Load(Block(1)))]), 4);
+        let (at, op) = cpu.advance(Time::ZERO).unwrap();
+        cpu.issue(at, op);
+        let _ = cpu.advance(at);
+    }
+
+    #[test]
+    fn finish_detection() {
+        let mut cpu = Cpu::new(items(vec![]), 4);
+        assert!(!cpu.is_finished());
+        assert!(cpu.advance(Time::ZERO).is_none());
+        assert!(cpu.is_finished());
+        assert!(!cpu.is_blocked());
+    }
+}

@@ -1,0 +1,50 @@
+//! # Timestamp Snooping
+//!
+//! A full reproduction of **"Timestamp Snooping: An Approach for Extending
+//! SMPs"** (Martin, Sorin, Ailamaki, Alameldeen, Dickson, Mauer, Moore,
+//! Plakal, Hill, Wood — ASPLOS IX, 2000).
+//!
+//! Timestamp snooping lets symmetric multiprocessors keep their
+//! latency-optimal *snooping* coherence protocols while moving from
+//! ordered buses to high-speed switched networks: the network assigns each
+//! address transaction a logical **ordering time** via a token-passing
+//! **guarantee time** handshake, delivers transactions as fast as the
+//! topology allows, and endpoints re-sort them into a total order before
+//! processing. Against two directory protocols on 16-node butterfly/torus
+//! systems, the paper measures 6–29 % faster execution for 13–43 % more
+//! link bandwidth.
+//!
+//! This crate is the top of the stack: it assembles CPUs
+//! ([`System`]), the protocol engines (crate `tss-proto`), the networks
+//! (crate `tss-net`) and the synthetic workloads (crate `tss-workloads`)
+//! into runnable experiments, and provides the paper's closed-form models
+//! ([`analytic`]) and measurement methodology ([`methodology`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+//! use tss_workloads::paper;
+//!
+//! // A 16-node torus running TS-Snoop on a small DSS-like workload.
+//! let mut cfg = SystemConfig::paper_default(ProtocolKind::TsSnoop, TopologyKind::Torus4x4);
+//! cfg.verify = true;
+//! let result = System::run_workload(cfg, &paper::dss(0.001));
+//! println!("runtime: {} for {} misses ({:.0}% cache-to-cache)",
+//!          result.stats.runtime,
+//!          result.stats.protocol.misses,
+//!          100.0 * result.stats.c2c_fraction());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+mod config;
+mod cpu;
+pub mod methodology;
+mod system;
+
+pub use config::{ProtocolKind, SystemConfig, Timing, TopologyKind};
+pub use cpu::Cpu;
+pub use system::{RunResult, System, SystemStats, TrafficSummary};

@@ -1,0 +1,501 @@
+//! Fast (closed-form) model of the timestamp-ordered address network.
+//!
+//! The paper's performance evaluation models "unloaded network latencies
+//! [and] timestamp snooping ordering delays" but **not** network contention
+//! (§4.3). Under no contention, the token wave of §2.2 is perfectly
+//! periodic: every switch and endpoint advances its guarantee time (GT) in
+//! lock step, once per logical *tick*. That makes both halves of the
+//! mechanism closed-form:
+//!
+//! * **OT assignment** — a transaction injected at physical time `t` gets
+//!   `OT = ⌊t/τ⌋ + D_max + S` ticks, where `τ` is the tick period, `D_max`
+//!   the logical distance to the furthest destination, and `S` the initial
+//!   slack chosen by the source;
+//! * **Ordering** — every endpoint's GT reaches `OT` at physical time
+//!   `OT·τ`, so the transaction is processed *everywhere* at exactly
+//!   `OT·τ` (its physical copies are guaranteed to have arrived by then —
+//!   validated by an assertion on every delivery).
+//!
+//! Endpoints still run a real priority queue (the "augmented priority
+//! queue" of §2.2) keyed by `(OT, source, sequence)`, so the established
+//! total order is explicit and testable. The [`detailed`](crate::token)
+//! token-passing network produces the same order and the same ordering
+//! instants when unloaded; an integration property test asserts the
+//! equivalence.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use tss_sim::stats::{Histogram, LatencyStat};
+use tss_sim::{Duration, Time};
+
+use crate::ids::NodeId;
+use crate::topology::Fabric;
+use crate::traffic::{MsgClass, TrafficLedger};
+
+/// How physical hop latency is computed from the fabric metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopTiming {
+    /// Production timing (paper Table 2): `D_ovh` once per message plus
+    /// `D_switch` per weight-1 link.
+    Weighted {
+        /// Enter/exit overhead (`D_ovh`, 4 ns in the paper).
+        d_ovh: Duration,
+        /// Per-link latency (`D_switch`, 15 ns in the paper).
+        d_switch: Duration,
+    },
+    /// Uniform per-link latency on *every* link including on-die
+    /// attachments; used to cross-validate against the detailed token
+    /// network, whose logical-time metric counts all links equally.
+    UniformLinks {
+        /// Latency of every link.
+        link: Duration,
+    },
+}
+
+/// Timing configuration of the fast ordered network.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderedNetTiming {
+    /// Physical hop timing.
+    pub hops: HopTiming,
+    /// Logical tick period `τ`: how often GTs advance. The paper's switches
+    /// can pass "one (or more) tokens" per port, so `τ` may be less than
+    /// `D_switch`; `τ = 1 ns` models aggressive piggybacked tokens and
+    /// reproduces the Table 2 latencies exactly.
+    pub tick: Duration,
+    /// Initial slack `S` assigned by sources ("setting S to a small
+    /// positive value allows GTs to advance during moderate network
+    /// contention", §2.2).
+    pub initial_slack: u64,
+}
+
+impl OrderedNetTiming {
+    /// The paper's production configuration: `D_ovh = 4 ns`,
+    /// `D_switch = 15 ns`, 1 ns ticks, slack 0.
+    pub fn paper_default() -> Self {
+        OrderedNetTiming {
+            hops: HopTiming::Weighted {
+                d_ovh: Duration::from_ns(4),
+                d_switch: Duration::from_ns(15),
+            },
+            tick: Duration::from_ns(1),
+            initial_slack: 0,
+        }
+    }
+
+    /// Configuration matching the detailed token network: uniform `link`
+    /// latency, one tick per link traversal, slack `s`.
+    pub fn uniform(link: Duration, s: u64) -> Self {
+        OrderedNetTiming {
+            hops: HopTiming::UniformLinks { link },
+            tick: link,
+            initial_slack: s,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.tick.as_ns() > 0, "tick period must be positive");
+        // A transaction must reach its furthest destination no later than
+        // `OT·τ`. The worst case is an injection just after a tick boundary
+        // (phase τ-1), which costs strictly less than one tick of slack, so
+        // S >= 1 always suffices; S = 0 additionally requires τ = 1 (all
+        // event times are integer ns, so the phase is then always 0).
+        assert!(
+            self.initial_slack >= 1 || self.tick.as_ns() == 1,
+            "initial slack 0 requires a 1 ns tick; the transaction could \
+             otherwise miss its ordering deadline"
+        );
+    }
+}
+
+/// A transaction delivered (in logical order) to one endpoint.
+#[derive(Debug, Clone)]
+pub struct Delivery<P> {
+    /// The endpoint this copy was delivered to.
+    pub dest: NodeId,
+    /// Source node of the broadcast.
+    pub src: NodeId,
+    /// Per-source injection sequence number (total-order tie-breaker).
+    pub seq: u64,
+    /// Ordering time in ticks.
+    pub ot: u64,
+    /// Physical arrival time of this copy at `dest` (used by the prefetch
+    /// optimisation: controllers may start a DRAM/SRAM access at arrival
+    /// and respond once ordered — §3 optimisation 1).
+    pub arrival: Time,
+    /// When this copy became processable (`OT·τ`); equal at all endpoints.
+    pub ordered_at: Time,
+    /// The broadcast payload.
+    pub payload: Arc<P>,
+}
+
+#[derive(Debug)]
+struct Pending<P> {
+    ot: u64,
+    src: NodeId,
+    seq: u64,
+    arrival: Time,
+    ordered_at: Time,
+    payload: Arc<P>,
+}
+
+impl<P> PartialEq for Pending<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<P> Eq for Pending<P> {}
+impl<P> PartialOrd for Pending<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Pending<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+impl<P> Pending<P> {
+    fn key(&self) -> (u64, u16, u64) {
+        (self.ot, self.src.0, self.seq)
+    }
+}
+
+/// The fast (unloaded, closed-form) timestamp-ordered broadcast network.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tss_net::{Fabric, FastOrderedNet, NodeId, OrderedNetTiming};
+/// use tss_sim::Time;
+///
+/// let fabric = Arc::new(Fabric::butterfly16());
+/// let mut net = FastOrderedNet::new(fabric, OrderedNetTiming::paper_default());
+/// let ordered_at = net.inject(Time::from_ns(100), NodeId(3), "GETS A");
+/// // One way latency on the butterfly is 49 ns (Table 2); the transaction
+/// // is processable everywhere once the guarantee time reaches its OT.
+/// assert_eq!(ordered_at, Time::from_ns(149));
+/// let deliveries = net.drain(ordered_at);
+/// assert_eq!(deliveries.len(), 16); // snooped by every endpoint
+/// ```
+#[derive(Debug)]
+pub struct FastOrderedNet<P> {
+    fabric: Arc<Fabric>,
+    timing: OrderedNetTiming,
+    queues: Vec<BinaryHeap<Reverse<Pending<P>>>>,
+    seq: Vec<u64>,
+    plane_rr: Vec<u32>,
+    ledger: TrafficLedger,
+    residency: LatencyStat,
+    depth_at_insert: Histogram,
+    injected: u64,
+    delivered: u64,
+}
+
+impl<P> FastOrderedNet<P> {
+    /// Creates the network over `fabric` with the given timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing configuration cannot guarantee on-time delivery
+    /// (see [`OrderedNetTiming`]).
+    pub fn new(fabric: Arc<Fabric>, timing: OrderedNetTiming) -> Self {
+        timing.validate();
+        let n = fabric.num_nodes();
+        let ledger = TrafficLedger::new(&fabric);
+        FastOrderedNet {
+            fabric,
+            timing,
+            queues: (0..n).map(|_| BinaryHeap::new()).collect(),
+            seq: vec![0; n],
+            plane_rr: vec![0; n],
+            ledger,
+            residency: LatencyStat::new(),
+            depth_at_insert: Histogram::new(64),
+            injected: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Broadcasts `payload` from `src`, assigning its ordering time.
+    ///
+    /// Returns the physical instant at which the transaction becomes
+    /// processable at **every** endpoint (they all reach `GT = OT`
+    /// simultaneously in the unloaded model). The caller should invoke
+    /// [`FastOrderedNet::drain`] at that instant.
+    pub fn inject(&mut self, now: Time, src: NodeId, payload: P) -> Time {
+        let plane = (self.plane_rr[src.index()] as usize) % self.fabric.planes();
+        self.plane_rr[src.index()] = self.plane_rr[src.index()].wrapping_add(1);
+        let tree = self.fabric.tree(plane, src);
+
+        let tau = self.timing.tick.as_ns();
+        let gt_src = now.as_ns() / tau;
+        let (dmax_ns, arrival_of): (u64, Box<dyn Fn(usize) -> u64>) = match self.timing.hops {
+            HopTiming::Weighted { d_ovh, d_switch } => {
+                let depths = tree.node_depth_weighted.clone();
+                let (o, s) = (d_ovh.as_ns(), d_switch.as_ns());
+                (
+                    o + s * tree.max_depth_weighted as u64,
+                    Box::new(move |d: usize| o + s * depths[d] as u64),
+                )
+            }
+            HopTiming::UniformLinks { link } => {
+                let depths = tree.node_depth_links.clone();
+                let l = link.as_ns();
+                (
+                    l * tree.max_depth_links as u64,
+                    Box::new(move |d: usize| l * depths[d] as u64),
+                )
+            }
+        };
+        let dmax_ticks = dmax_ns.div_ceil(tau);
+        let ot = gt_src + dmax_ticks + self.timing.initial_slack;
+        let ordered_at = Time::from_ns(ot * tau);
+
+        let seq = self.seq[src.index()];
+        self.seq[src.index()] += 1;
+        let payload = Arc::new(payload);
+
+        for dest in 0..self.fabric.num_nodes() {
+            let arrival = now + Duration::from_ns(arrival_of(dest));
+            assert!(
+                arrival <= ordered_at,
+                "transaction would miss its ordering deadline \
+                 (arrival {arrival:?} > ordered {ordered_at:?})"
+            );
+            self.residency.record(ordered_at.since(arrival));
+            self.depth_at_insert
+                .record(self.queues[dest].len() as u64);
+            self.queues[dest].push(Reverse(Pending {
+                ot,
+                src,
+                seq,
+                arrival,
+                ordered_at,
+                payload: Arc::clone(&payload),
+            }));
+        }
+
+        self.ledger.record_tree(tree, MsgClass::Request);
+        self.injected += 1;
+        ordered_at
+    }
+
+    /// Delivers, in the established total order, every transaction whose
+    /// ordering time has been reached at `now`.
+    ///
+    /// Deliveries are grouped per endpoint; within an endpoint they follow
+    /// the `(OT, source, sequence)` total order exactly.
+    pub fn drain(&mut self, now: Time) -> Vec<Delivery<P>> {
+        let mut out = Vec::new();
+        for dest in 0..self.queues.len() {
+            while let Some(Reverse(top)) = self.queues[dest].peek() {
+                if top.ordered_at > now {
+                    break;
+                }
+                let Reverse(p) = self.queues[dest].pop().expect("peeked entry exists");
+                out.push(Delivery {
+                    dest: NodeId(dest as u16),
+                    src: p.src,
+                    seq: p.seq,
+                    ot: p.ot,
+                    arrival: p.arrival,
+                    ordered_at: p.ordered_at,
+                    payload: p.payload,
+                });
+                self.delivered += 1;
+            }
+        }
+        out
+    }
+
+    /// Transactions injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Endpoint-copies delivered so far (16 per broadcast on a 16-node
+    /// system).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total endpoint-copies still awaiting their ordering time.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(BinaryHeap::len).sum()
+    }
+
+    /// The address-network traffic ledger (Request-class bytes).
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// Buffer residency (arrival → ordered) statistics: how long endpoint
+    /// reorder queues hold early transactions (§2.2 "Buffering").
+    pub fn residency(&self) -> &LatencyStat {
+        &self.residency
+    }
+
+    /// Histogram of reorder-queue depth observed at insertion.
+    pub fn queue_depth(&self) -> &Histogram {
+        &self.depth_at_insert
+    }
+
+    /// The fabric this network runs over.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(fabric: Fabric) -> FastOrderedNet<u32> {
+        FastOrderedNet::new(Arc::new(fabric), OrderedNetTiming::paper_default())
+    }
+
+    #[test]
+    fn butterfly_orders_at_one_way_latency() {
+        let mut n = net(Fabric::butterfly16());
+        // GT_src = 100, D_max = 4 + 3*15 = 49 ticks (1 ns ticks), S = 0.
+        let t = n.inject(Time::from_ns(100), NodeId(0), 1);
+        assert_eq!(t, Time::from_ns(149));
+    }
+
+    #[test]
+    fn torus_orders_at_worst_case_latency() {
+        let mut n = net(Fabric::torus4x4());
+        // D_max = 4 + 4*15 = 64 ticks.
+        let t = n.inject(Time::from_ns(0), NodeId(0), 1);
+        assert_eq!(t, Time::from_ns(64));
+    }
+
+    #[test]
+    fn all_endpoints_get_every_transaction_in_total_order() {
+        let mut n = net(Fabric::torus4x4());
+        let mut deadlines = Vec::new();
+        // Interleave injections from several sources.
+        deadlines.push(n.inject(Time::from_ns(5), NodeId(3), 30));
+        deadlines.push(n.inject(Time::from_ns(5), NodeId(1), 10));
+        deadlines.push(n.inject(Time::from_ns(7), NodeId(1), 11));
+        deadlines.push(n.inject(Time::from_ns(60), NodeId(9), 90));
+        let last = *deadlines.iter().max().unwrap();
+        let deliveries = n.drain(last);
+        assert_eq!(deliveries.len(), 4 * 16);
+        // Extract the per-endpoint order and check they are identical.
+        let mut orders: Vec<Vec<u32>> = vec![Vec::new(); 16];
+        for d in &deliveries {
+            orders[d.dest.index()].push(*d.payload);
+        }
+        for o in &orders[1..] {
+            assert_eq!(o, &orders[0], "endpoints disagree on the total order");
+        }
+        // Ties at the same OT broke by source id: node 1 before node 3.
+        assert_eq!(orders[0], vec![10, 30, 11, 90]);
+        assert_eq!(n.pending(), 0);
+        assert_eq!(n.delivered(), 64);
+    }
+
+    #[test]
+    fn same_source_ties_break_by_sequence() {
+        let mut n = net(Fabric::butterfly16());
+        // Two injections from the same node at the same nanosecond share an
+        // OT; the sequence number must keep them in injection order.
+        n.inject(Time::from_ns(42), NodeId(5), 1);
+        n.inject(Time::from_ns(42), NodeId(5), 2);
+        let deliveries = n.drain(Time::from_ns(1_000));
+        let at0: Vec<u32> = deliveries
+            .iter()
+            .filter(|d| d.dest == NodeId(0))
+            .map(|d| *d.payload)
+            .collect();
+        assert_eq!(at0, vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_respects_ordering_deadline() {
+        let mut n = net(Fabric::butterfly16());
+        let t = n.inject(Time::from_ns(0), NodeId(0), 7);
+        assert!(n.drain(Time::from_ns(t.as_ns() - 1)).is_empty());
+        assert_eq!(n.drain(t).len(), 16);
+    }
+
+    #[test]
+    fn arrival_times_follow_tree_depths() {
+        let mut n = net(Fabric::torus4x4());
+        n.inject(Time::from_ns(0), NodeId(0), 1);
+        let deliveries = n.drain(Time::from_ns(1_000));
+        for d in &deliveries {
+            let dist = n.fabric().distance(NodeId(0), d.dest);
+            assert_eq!(d.arrival, Time::from_ns(4 + 15 * dist as u64));
+        }
+    }
+
+    #[test]
+    fn butterfly_planes_rotate_round_robin() {
+        let mut n = net(Fabric::butterfly16());
+        for _ in 0..8 {
+            n.inject(Time::from_ns(0), NodeId(0), 1);
+        }
+        // 8 broadcasts x 21 links x 8 bytes, spread over 4 planes.
+        assert_eq!(n.ledger().class_total(MsgClass::Request), 8 * 21 * 8);
+        // Each plane's node-0 entry link saw exactly 2 broadcasts.
+        assert_eq!(n.ledger().per_link_max(), 2 * 8);
+    }
+
+    #[test]
+    fn slack_delays_ordering() {
+        let timing = OrderedNetTiming {
+            initial_slack: 10,
+            ..OrderedNetTiming::paper_default()
+        };
+        let mut n: FastOrderedNet<u32> =
+            FastOrderedNet::new(Arc::new(Fabric::butterfly16()), timing);
+        let t = n.inject(Time::from_ns(0), NodeId(0), 1);
+        assert_eq!(t, Time::from_ns(59)); // 49 + 10 ticks of slack
+    }
+
+    #[test]
+    fn residency_statistics_accumulate() {
+        let mut n = net(Fabric::torus4x4());
+        n.inject(Time::from_ns(0), NodeId(0), 1);
+        n.drain(Time::from_ns(100));
+        // Nearest destination (self) waits the longest: 64 - 4 = 60 ns.
+        assert_eq!(n.residency().max(), Some(Duration::from_ns(60)));
+        assert_eq!(n.residency().count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial slack 0")]
+    fn coarse_ticks_require_slack() {
+        let timing = OrderedNetTiming {
+            hops: HopTiming::Weighted {
+                d_ovh: Duration::from_ns(4),
+                d_switch: Duration::from_ns(15),
+            },
+            tick: Duration::from_ns(15),
+            initial_slack: 0,
+        };
+        let _: FastOrderedNet<u32> = FastOrderedNet::new(Arc::new(Fabric::torus4x4()), timing);
+    }
+
+    #[test]
+    fn coarse_ticks_with_slack_work() {
+        let timing = OrderedNetTiming {
+            hops: HopTiming::Weighted {
+                d_ovh: Duration::from_ns(4),
+                d_switch: Duration::from_ns(15),
+            },
+            tick: Duration::from_ns(15),
+            initial_slack: 2,
+        };
+        let mut n: FastOrderedNet<u32> = FastOrderedNet::new(Arc::new(Fabric::torus4x4()), timing);
+        // GT_src = 0, D_max = ceil(64/15) = 5 ticks, S = 2 -> OT = 7.
+        let t = n.inject(Time::from_ns(7), NodeId(2), 1);
+        assert_eq!(t, Time::from_ns(7 * 15));
+        assert_eq!(n.drain(t).len(), 16);
+    }
+}

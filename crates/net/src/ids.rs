@@ -1,0 +1,109 @@
+//! Identifier newtypes for network entities.
+
+use std::fmt;
+
+/// Identifies a processor/memory node (endpoint) in the system.
+///
+/// The paper evaluates 16-node systems; this reproduction supports any
+/// power-of-radix node count for the scaling ablations.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node index as a `usize` for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a directed link in a [`Fabric`](crate::Fabric).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The link index as a `usize` for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A vertex of the fabric graph: either an endpoint node or a switch.
+///
+/// Vertices are numbered with nodes first (`0..num_nodes`) and switches
+/// after, so a `Vertex` is a dense index usable in lookup tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Vertex(pub u32);
+
+impl Vertex {
+    /// Builds the vertex for endpoint node `n`.
+    #[inline]
+    pub fn node(n: NodeId) -> Self {
+        Vertex(n.0 as u32)
+    }
+
+    /// Builds the vertex for switch number `s` (dense switch index) in a
+    /// fabric with `num_nodes` endpoints.
+    #[inline]
+    pub fn switch(s: u32, num_nodes: usize) -> Self {
+        Vertex(num_nodes as u32 + s)
+    }
+
+    /// The dense index of this vertex.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// If this vertex is an endpoint node of a fabric with `num_nodes`
+    /// nodes, returns its [`NodeId`].
+    #[inline]
+    pub fn as_node(self, num_nodes: usize) -> Option<NodeId> {
+        (self.index() < num_nodes).then(|| NodeId(self.0 as u16))
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_node_round_trip() {
+        let v = Vertex::node(NodeId(5));
+        assert_eq!(v.as_node(16), Some(NodeId(5)));
+        assert_eq!(v.index(), 5);
+    }
+
+    #[test]
+    fn vertex_switch_is_offset_and_not_a_node() {
+        let v = Vertex::switch(3, 16);
+        assert_eq!(v.index(), 19);
+        assert_eq!(v.as_node(16), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(2).to_string(), "n2");
+        assert_eq!(LinkId(7).to_string(), "l7");
+        assert_eq!(Vertex(9).to_string(), "v9");
+    }
+}

@@ -1,0 +1,782 @@
+//! Fabric topologies: the indirect radix-k butterfly and the direct 2-D
+//! bidirectional torus of the paper (§4.2, Figure 2), generalised so the
+//! scaling ablations can vary radix, stage count and mesh dimensions.
+//!
+//! A [`Fabric`] is a directed graph of *vertices* (endpoint nodes plus
+//! switches) and *links*. Each link has a **weight**: `1` for a real
+//! chip-to-chip link that costs `D_switch` of latency and carries accountable
+//! traffic, `0` for an on-die node↔switch attachment (the torus integrates
+//! the switch on the processor die, so entering/leaving the fabric is covered
+//! by the `D_ovh` constant instead — paper Table 2).
+//!
+//! At construction the fabric precomputes, per `(plane, source)`:
+//!
+//! * the **minimum-distance broadcast spanning tree** used to deliver address
+//!   transactions ("statically balanced broadcast routing algorithm using
+//!   minimum distance spanning trees implemented with a table lookup on
+//!   transaction source ID", §2.2), including the per-branch `ΔD` values of
+//!   the slack recurrence, and
+//! * the **unicast route** (link list) used by data/request/response
+//!   messages.
+
+use std::collections::VecDeque;
+
+use crate::ids::{LinkId, NodeId, Vertex};
+
+/// A directed link of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Source vertex.
+    pub from: Vertex,
+    /// Destination vertex.
+    pub to: Vertex,
+    /// `1` for a chip-to-chip link (costs `D_switch`, counted in traffic),
+    /// `0` for an on-die node attachment.
+    pub weight: u32,
+    /// The butterfly plane this link belongs to (`0` for single-plane
+    /// fabrics such as the torus).
+    pub plane: u32,
+}
+
+/// One edge of a broadcast spanning tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeEdge {
+    /// The fabric link this edge travels.
+    pub link: LinkId,
+    /// The `ΔD` term of the slack recurrence for this branch: the decrease
+    /// in maximum remaining pipeline depth relative to the longest branch
+    /// leaving the same vertex (§2.2). Measured in links.
+    pub delta_d: u32,
+}
+
+/// A minimum-distance broadcast spanning tree rooted at a source node.
+#[derive(Debug, Clone)]
+pub struct BroadcastTree {
+    /// Tree edges in BFS (topological) order.
+    pub edges: Vec<TreeEdge>,
+    /// For each vertex, the indices into [`BroadcastTree::edges`] of the
+    /// branches leaving it (empty for leaves and non-tree vertices).
+    out_edges: Vec<Vec<u32>>,
+    /// Weighted depth (latency hops) at which each destination *node*
+    /// receives the broadcast.
+    pub node_depth_weighted: Vec<u32>,
+    /// Link-count depth (every link counts 1) at which each destination node
+    /// receives the broadcast — the logical-time hop metric of the detailed
+    /// token network.
+    pub node_depth_links: Vec<u32>,
+    /// Maximum of [`BroadcastTree::node_depth_weighted`]: the `D_max` used
+    /// to assign ordering times in the fast network model.
+    pub max_depth_weighted: u32,
+    /// Maximum of [`BroadcastTree::node_depth_links`]: the `D_max` of the
+    /// detailed token network.
+    pub max_depth_links: u32,
+    /// Number of weight-1 links in the tree: the per-broadcast link cost
+    /// (21 for the 16-node butterfly, 15 for the 4×4 torus — §5).
+    pub weighted_link_count: u32,
+}
+
+impl BroadcastTree {
+    /// The branches leaving `vertex`, as indices into [`BroadcastTree::edges`].
+    pub fn branches_from(&self, vertex: Vertex) -> &[u32] {
+        self.out_edges
+            .get(vertex.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Which concrete topology a [`Fabric`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    /// `planes` parallel copies of a radix-`radix`, `stages`-stage indirect
+    /// butterfly over `radix^stages` nodes (paper: four radix-4 butterflies
+    /// over 16 nodes).
+    Butterfly {
+        /// Switch radix (inputs = outputs = radix).
+        radix: u32,
+        /// Number of switch stages (`nodes = radix^stages`).
+        stages: u32,
+        /// Parallel plane count, selected round-robin by sources.
+        planes: u32,
+    },
+    /// A `width × height` bidirectional 2-D torus with one
+    /// switch integrated per node (paper: 4×4, modeled on the Alpha 21364).
+    Torus {
+        /// Mesh width.
+        width: u32,
+        /// Mesh height.
+        height: u32,
+    },
+}
+
+/// A fully precomputed interconnection fabric.
+///
+/// # Example
+///
+/// ```
+/// use tss_net::{Fabric, NodeId};
+/// let butterfly = Fabric::butterfly16();
+/// assert_eq!(butterfly.num_nodes(), 16);
+/// // Every node pair is 3 links apart; a broadcast uses 21 links (§4.2).
+/// assert_eq!(butterfly.distance(NodeId(0), NodeId(15)), 3);
+/// assert_eq!(butterfly.tree(0, NodeId(0)).weighted_link_count, 21);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    kind: FabricKind,
+    num_nodes: usize,
+    num_switches: usize,
+    planes: usize,
+    links: Vec<Link>,
+    /// Out-links per vertex.
+    out_links: Vec<Vec<LinkId>>,
+    /// In-links per vertex.
+    in_links: Vec<Vec<LinkId>>,
+    /// Broadcast trees, indexed `plane * num_nodes + src`.
+    trees: Vec<BroadcastTree>,
+    /// Unicast routes (link lists), indexed
+    /// `(plane * num_nodes + src) * num_nodes + dst`.
+    routes: Vec<Vec<LinkId>>,
+    /// Weighted distance, indexed `src * num_nodes + dst` (plane-invariant).
+    distances: Vec<u32>,
+}
+
+impl Fabric {
+    /// The paper's indirect network: four parallel radix-4 two-stage
+    /// butterflies over 16 nodes.
+    pub fn butterfly16() -> Fabric {
+        Fabric::butterfly(4, 2, 4)
+    }
+
+    /// The paper's direct network: a 4×4 bidirectional torus.
+    pub fn torus4x4() -> Fabric {
+        Fabric::torus(4, 4)
+    }
+
+    /// Builds `planes` parallel radix-`radix`, `stages`-stage butterflies
+    /// over `radix^stages` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix < 2`, `stages < 1`, `planes < 1`, or the node count
+    /// overflows `u16`.
+    pub fn butterfly(radix: u32, stages: u32, planes: u32) -> Fabric {
+        assert!(radix >= 2, "butterfly radix must be at least 2");
+        assert!(stages >= 1, "butterfly needs at least one stage");
+        assert!(planes >= 1, "butterfly needs at least one plane");
+        let num_nodes = (radix as usize).pow(stages);
+        assert!(num_nodes <= u16::MAX as usize, "too many nodes");
+        let switches_per_stage = num_nodes / radix as usize;
+        let switches_per_plane = switches_per_stage * stages as usize;
+        let num_switches = switches_per_plane * planes as usize;
+
+        let sw = |plane: usize, stage: usize, idx: usize| -> Vertex {
+            Vertex::switch(
+                (plane * switches_per_plane + stage * switches_per_stage + idx) as u32,
+                num_nodes,
+            )
+        };
+
+        let mut links = Vec::new();
+        for plane in 0..planes as usize {
+            // Node -> stage-0 switch (weight 1: the paper counts these links
+            // in the 21-link broadcast and 3-link unicast costs).
+            for n in 0..num_nodes {
+                links.push(Link {
+                    from: Vertex::node(NodeId(n as u16)),
+                    to: sw(plane, 0, n / radix as usize),
+                    weight: 1,
+                    plane: plane as u32,
+                });
+            }
+            // Inter-stage wiring: perfect k-shuffle (omega network). Wire w
+            // leaving stage t = switch (w / radix), port (w % radix); it
+            // enters stage t+1 at wire position shuffle(w).
+            for stage in 0..stages as usize - 1 {
+                for u in 0..switches_per_stage {
+                    for port in 0..radix as usize {
+                        let wire = u * radix as usize + port;
+                        let shuffled = k_shuffle(wire, radix as usize, num_nodes);
+                        links.push(Link {
+                            from: sw(plane, stage, u),
+                            to: sw(plane, stage + 1, shuffled / radix as usize),
+                            weight: 1,
+                            plane: plane as u32,
+                        });
+                    }
+                }
+            }
+            // Last stage -> nodes.
+            for u in 0..switches_per_stage {
+                for port in 0..radix as usize {
+                    links.push(Link {
+                        from: sw(plane, stages as usize - 1, u),
+                        to: Vertex::node(NodeId((u * radix as usize + port) as u16)),
+                        weight: 1,
+                        plane: plane as u32,
+                    });
+                }
+            }
+        }
+
+        Fabric::finish(
+            FabricKind::Butterfly {
+                radix,
+                stages,
+                planes,
+            },
+            num_nodes,
+            num_switches,
+            planes as usize,
+            links,
+        )
+    }
+
+    /// Builds a `width × height` bidirectional torus with one switch per
+    /// node (on-die, weight-0 node attachments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the node count overflows `u16`.
+    pub fn torus(width: u32, height: u32) -> Fabric {
+        assert!(width >= 1 && height >= 1, "torus dimensions must be >= 1");
+        let num_nodes = (width * height) as usize;
+        assert!(num_nodes <= u16::MAX as usize, "too many nodes");
+        let sw = |x: u32, y: u32| Vertex::switch(y * width + x, num_nodes);
+
+        let mut links = Vec::new();
+        for y in 0..height {
+            for x in 0..width {
+                let here = sw(x, y);
+                let node = Vertex::node(NodeId((y * width + x) as u16));
+                // On-die attachments (weight 0: covered by D_ovh, not
+                // counted as fabric traffic).
+                links.push(Link {
+                    from: node,
+                    to: here,
+                    weight: 0,
+                    plane: 0,
+                });
+                links.push(Link {
+                    from: here,
+                    to: node,
+                    weight: 0,
+                    plane: 0,
+                });
+                // Neighbours, deduplicated for degenerate dimensions.
+                let mut neighbours = Vec::new();
+                for (nx, ny) in [
+                    ((x + 1) % width, y),
+                    ((x + width - 1) % width, y),
+                    (x, (y + 1) % height),
+                    (x, (y + height - 1) % height),
+                ] {
+                    if (nx, ny) != (x, y) && !neighbours.contains(&(nx, ny)) {
+                        neighbours.push((nx, ny));
+                    }
+                }
+                for (nx, ny) in neighbours {
+                    links.push(Link {
+                        from: here,
+                        to: sw(nx, ny),
+                        weight: 1,
+                        plane: 0,
+                    });
+                }
+            }
+        }
+
+        Fabric::finish(
+            FabricKind::Torus { width, height },
+            num_nodes,
+            num_nodes,
+            1,
+            links,
+        )
+    }
+
+    fn finish(
+        kind: FabricKind,
+        num_nodes: usize,
+        num_switches: usize,
+        planes: usize,
+        links: Vec<Link>,
+    ) -> Fabric {
+        let num_vertices = num_nodes + num_switches;
+        let mut out_links = vec![Vec::new(); num_vertices];
+        let mut in_links = vec![Vec::new(); num_vertices];
+        for (i, l) in links.iter().enumerate() {
+            out_links[l.from.index()].push(LinkId(i as u32));
+            in_links[l.to.index()].push(LinkId(i as u32));
+        }
+
+        let mut fabric = Fabric {
+            kind,
+            num_nodes,
+            num_switches,
+            planes,
+            links,
+            out_links,
+            in_links,
+            trees: Vec::new(),
+            routes: Vec::new(),
+            distances: vec![u32::MAX; num_nodes * num_nodes],
+        };
+
+        for plane in 0..planes {
+            for src in 0..num_nodes {
+                let (tree, routes, dists) = fabric.bfs_from(NodeId(src as u16), plane as u32);
+                fabric.trees.push(tree);
+                fabric.routes.extend(routes);
+                if plane == 0 {
+                    fabric.distances[src * num_nodes..(src + 1) * num_nodes]
+                        .copy_from_slice(&dists);
+                } else {
+                    // Distances must be plane-invariant.
+                    debug_assert_eq!(
+                        &fabric.distances[src * num_nodes..(src + 1) * num_nodes],
+                        dists.as_slice()
+                    );
+                }
+            }
+        }
+        fabric
+    }
+
+    /// BFS over one plane from `src`, producing the broadcast tree, the
+    /// per-destination unicast routes and the weighted distances.
+    ///
+    /// BFS runs on the *link-count* metric (every link is one hop), which is
+    /// also minimum-distance in the weighted metric here because weight-0
+    /// links only ever appear at the very start/end of a path.
+    ///
+    /// The tree re-delivers to the **source itself** through the network
+    /// (the "+1" of the paper's 1+4+16 = 21 butterfly link count): the
+    /// source snoops its own transaction like everyone else.
+    fn bfs_from(&self, src: NodeId, plane: u32) -> (BroadcastTree, Vec<Vec<LinkId>>, Vec<u32>) {
+        let num_vertices = self.num_nodes + self.num_switches;
+        let mut parent_edge: Vec<Option<LinkId>> = vec![None; num_vertices];
+        let mut depth_links: Vec<u32> = vec![u32::MAX; num_vertices];
+        let root = Vertex::node(src);
+        depth_links[root.index()] = 0;
+        // The edge that re-delivers the broadcast to the source, found at
+        // the smallest possible depth.
+        let mut root_return: Option<LinkId> = None;
+        let mut queue = VecDeque::new();
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &lid in &self.out_links[v.index()] {
+                let link = self.links[lid.index()];
+                if link.plane != plane {
+                    continue;
+                }
+                let to = link.to;
+                if to == root {
+                    if root_return.is_none() && v != root {
+                        root_return = Some(lid);
+                    }
+                    continue;
+                }
+                if depth_links[to.index()] == u32::MAX {
+                    depth_links[to.index()] = depth_links[v.index()] + 1;
+                    parent_edge[to.index()] = Some(lid);
+                    // Endpoint nodes are leaves of the broadcast: a message
+                    // delivered to a node is consumed there.
+                    if to.as_node(self.num_nodes).is_none() {
+                        queue.push_back(to);
+                    }
+                }
+            }
+        }
+
+        // Destination nodes must all be reached.
+        for n in 0..self.num_nodes {
+            assert!(
+                n == src.index() || depth_links[n] != u32::MAX,
+                "fabric is not broadcast-connected from {src} (plane {plane})"
+            );
+        }
+        let root_return = root_return
+            .expect("fabric cannot re-deliver a broadcast to its source");
+
+        // Unicast routes: union of root-to-node parent paths.
+        let mut in_tree = vec![false; num_vertices];
+        in_tree[root.index()] = true;
+        let mut routes: Vec<Vec<LinkId>> = Vec::with_capacity(self.num_nodes);
+        let mut dists = vec![0u32; self.num_nodes];
+        for n in 0..self.num_nodes {
+            if n == src.index() {
+                // Self unicast is local: no links, distance 0.
+                routes.push(Vec::new());
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut v = Vertex::node(NodeId(n as u16));
+            in_tree[v.index()] = true;
+            while let Some(lid) = parent_edge[v.index()] {
+                path.push(lid);
+                v = self.links[lid.index()].from;
+                in_tree[v.index()] = true;
+            }
+            path.reverse();
+            dists[n] = path
+                .iter()
+                .map(|l| self.links[l.index()].weight)
+                .sum::<u32>();
+            routes.push(path);
+        }
+        // The root-return parent must itself be on the tree.
+        assert!(
+            in_tree[self.links[root_return.index()].from.index()],
+            "root-return edge hangs off a non-tree switch"
+        );
+
+        // Emit tree edges in BFS order (parents before children), with the
+        // root-return edge attached at its parent.
+        let mut edges: Vec<TreeEdge> = Vec::new();
+        let mut out_edges = vec![Vec::new(); num_vertices];
+        let mut bfs_vertices: Vec<usize> = (0..num_vertices)
+            .filter(|&v| in_tree[v] && depth_links[v] != u32::MAX)
+            .collect();
+        bfs_vertices.sort_by_key(|&v| depth_links[v]);
+        for &v in &bfs_vertices {
+            for &lid in &self.out_links[v] {
+                let link = self.links[lid.index()];
+                let to = link.to.index();
+                let is_tree_child = link.plane == plane
+                    && to != root.index()
+                    && in_tree[to]
+                    && parent_edge[to] == Some(lid);
+                if is_tree_child || lid == root_return {
+                    out_edges[v].push(edges.len() as u32);
+                    edges.push(TreeEdge { link: lid, delta_d: 0 });
+                }
+            }
+        }
+
+        // ΔD pass: `remaining[v]` = max further links from v to any
+        // delivered node in its subtree. Nodes are leaves (remaining 0).
+        // Tree edges are in BFS order, so one reverse sweep suffices.
+        let mut remaining = vec![0u32; num_vertices];
+        let leaf_aware = |links: &[Link], remaining: &[u32], lid: LinkId| -> u32 {
+            let to = links[lid.index()].to;
+            if to.as_node(self.num_nodes).is_some() {
+                0
+            } else {
+                remaining[to.index()]
+            }
+        };
+        for e in edges.iter().rev() {
+            let from = self.links[e.link.index()].from.index();
+            let r_to = leaf_aware(&self.links, &remaining, e.link);
+            remaining[from] = remaining[from].max(1 + r_to);
+        }
+        for e in edges.iter_mut() {
+            let from = self.links[e.link.index()].from.index();
+            let r_to = leaf_aware(&self.links, &remaining, e.link);
+            e.delta_d = (remaining[from] - 1) - r_to;
+        }
+
+        // Per-node delivery depths: forward sweep over tree edges.
+        let mut wdepth = vec![0u32; num_vertices];
+        let mut ldepth = vec![0u32; num_vertices];
+        let mut node_depth_weighted = vec![0u32; self.num_nodes];
+        let mut node_depth_links = vec![0u32; self.num_nodes];
+        for e in &edges {
+            let link = self.links[e.link.index()];
+            let (f, t) = (link.from.index(), link.to.index());
+            match link.to.as_node(self.num_nodes) {
+                Some(node) => {
+                    node_depth_weighted[node.index()] = wdepth[f] + link.weight;
+                    node_depth_links[node.index()] = ldepth[f] + 1;
+                }
+                None => {
+                    wdepth[t] = wdepth[f] + link.weight;
+                    ldepth[t] = ldepth[f] + 1;
+                }
+            }
+        }
+
+        let weighted_link_count = edges
+            .iter()
+            .map(|e| self.links[e.link.index()].weight)
+            .sum();
+
+        let tree = BroadcastTree {
+            max_depth_weighted: *node_depth_weighted.iter().max().unwrap(),
+            max_depth_links: *node_depth_links.iter().max().unwrap(),
+            edges,
+            out_edges,
+            node_depth_weighted,
+            node_depth_links,
+            weighted_link_count,
+        };
+        (tree, routes, dists)
+    }
+
+    /// Which concrete topology this fabric is.
+    pub fn kind(&self) -> FabricKind {
+        self.kind
+    }
+
+    /// Number of endpoint (processor/memory) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total number of switches across all planes.
+    pub fn num_switches(&self) -> usize {
+        self.num_switches
+    }
+
+    /// Number of parallel planes (4 for the paper's butterfly, 1 for the
+    /// torus).
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Directed links leaving `vertex`.
+    pub fn out_links(&self, vertex: Vertex) -> &[LinkId] {
+        &self.out_links[vertex.index()]
+    }
+
+    /// Directed links entering `vertex`.
+    pub fn in_links(&self, vertex: Vertex) -> &[LinkId] {
+        &self.in_links[vertex.index()]
+    }
+
+    /// Weighted (latency) distance in links from `src` to `dst`; `0` for
+    /// `src == dst`.
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.distances[src.index() * self.num_nodes + dst.index()]
+    }
+
+    /// Mean weighted distance over all ordered `(src, dst)` pairs,
+    /// including `src == dst` — the paper quotes 2 links for the 4×4 torus
+    /// on this definition.
+    pub fn mean_distance(&self) -> f64 {
+        let total: u64 = self.distances.iter().map(|&d| d as u64).sum();
+        total as f64 / (self.num_nodes * self.num_nodes) as f64
+    }
+
+    /// Maximum weighted distance between any pair.
+    pub fn max_distance(&self) -> u32 {
+        *self.distances.iter().max().unwrap()
+    }
+
+    /// The broadcast tree used by transactions sourced at `src` on `plane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane` is out of range.
+    pub fn tree(&self, plane: usize, src: NodeId) -> &BroadcastTree {
+        assert!(plane < self.planes, "plane {plane} out of range");
+        &self.trees[plane * self.num_nodes + src.index()]
+    }
+
+    /// The unicast route (link list) from `src` to `dst` on `plane`.
+    /// Empty for `src == dst`.
+    pub fn unicast_links(&self, plane: usize, src: NodeId, dst: NodeId) -> &[LinkId] {
+        assert!(plane < self.planes, "plane {plane} out of range");
+        &self.routes[(plane * self.num_nodes + src.index()) * self.num_nodes + dst.index()]
+    }
+
+    /// Total number of weight-1 (traffic-bearing) directed links.
+    pub fn weighted_link_count(&self) -> usize {
+        self.links.iter().filter(|l| l.weight == 1).count()
+    }
+}
+
+/// Perfect k-shuffle of wire index `w` in a system of `n` wires: rotate the
+/// base-k digit string left by one digit.
+fn k_shuffle(w: usize, k: usize, n: usize) -> usize {
+    (w * k) % n + (w * k) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly16_matches_paper_section_4_2() {
+        let f = Fabric::butterfly16();
+        assert_eq!(f.num_nodes(), 16);
+        assert_eq!(f.planes(), 4);
+        // 2 stages x 4 switches x 4 planes.
+        assert_eq!(f.num_switches(), 32);
+        // "A 16 processor radix-4 butterfly delivers a message using 3 links"
+        for s in 0..16 {
+            for d in 0..16 {
+                if s != d {
+                    assert_eq!(f.distance(NodeId(s), NodeId(d)), 3, "{s}->{d}");
+                }
+            }
+        }
+        // "...and broadcasts a transaction with 3-link latency using 21
+        // links (1+4+16)".
+        for p in 0..4 {
+            for s in 0..16 {
+                let t = f.tree(p, NodeId(s));
+                assert_eq!(t.weighted_link_count, 21);
+                assert_eq!(t.max_depth_weighted, 3);
+                assert_eq!(t.max_depth_links, 3);
+                for d in 0..16 {
+                    assert_eq!(t.node_depth_weighted[d], 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_trees_are_balanced_so_delta_d_is_zero() {
+        let f = Fabric::butterfly16();
+        for p in 0..4 {
+            let t = f.tree(p, NodeId(7));
+            assert!(t.edges.iter().all(|e| e.delta_d == 0));
+            assert_eq!(t.edges.len(), 21);
+        }
+    }
+
+    #[test]
+    fn torus4x4_matches_paper_section_4_2() {
+        let f = Fabric::torus4x4();
+        assert_eq!(f.num_nodes(), 16);
+        assert_eq!(f.num_switches(), 16);
+        assert_eq!(f.planes(), 1);
+        // "A torus delivers messages using a mean of 2 links" (includes the
+        // zero-distance self case in the mean).
+        assert!((f.mean_distance() - 2.0).abs() < 1e-9);
+        assert_eq!(f.max_distance(), 4);
+        // "...broadcasts transactions using 15 links with a mean arrival
+        // latency of 2 links and worst-case latency of 4 links."
+        for s in 0..16 {
+            let t = f.tree(0, NodeId(s));
+            assert_eq!(t.weighted_link_count, 15);
+            assert_eq!(t.max_depth_weighted, 4);
+            let mean: f64 = t.node_depth_weighted.iter().map(|&d| d as f64).sum::<f64>() / 16.0;
+            assert!((mean - 2.0).abs() < 1e-9, "mean arrival {mean}");
+        }
+    }
+
+    #[test]
+    fn torus_distances_are_wraparound_manhattan() {
+        let f = Fabric::torus4x4();
+        // Node 0 is at (0,0); node 15 at (3,3): wrap distance 1+1=2.
+        assert_eq!(f.distance(NodeId(0), NodeId(15)), 2);
+        // Node 0 -> node 10 at (2,2): 2+2=4 (the diameter).
+        assert_eq!(f.distance(NodeId(0), NodeId(10)), 4);
+        // Distances are symmetric.
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(f.distance(NodeId(a), NodeId(b)), f.distance(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_unicast_routes_have_matching_weighted_length() {
+        let f = Fabric::torus4x4();
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                let route = f.unicast_links(0, NodeId(a), NodeId(b));
+                let weighted: u32 = route
+                    .iter()
+                    .map(|l| f.links()[l.index()].weight)
+                    .sum();
+                assert_eq!(weighted, f.distance(NodeId(a), NodeId(b)));
+                if a == b {
+                    assert!(route.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_routes_traverse_three_links() {
+        let f = Fabric::butterfly16();
+        for p in 0..4 {
+            for a in 0..16u16 {
+                for b in 0..16u16 {
+                    let route = f.unicast_links(p, NodeId(a), NodeId(b));
+                    if a == b {
+                        assert!(route.is_empty());
+                    } else {
+                        assert_eq!(route.len(), 3);
+                        // Route stays within the requested plane.
+                        assert!(route
+                            .iter()
+                            .all(|l| f.links()[l.index()].plane == p as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_tree_delta_d_matches_depth_shortfall() {
+        let f = Fabric::torus4x4();
+        let t = f.tree(0, NodeId(0));
+        // The torus tree is unbalanced, so at least one branch must carry a
+        // positive ΔD.
+        assert!(t.edges.iter().any(|e| e.delta_d > 0));
+    }
+
+    #[test]
+    fn tree_branches_from_cover_all_edges() {
+        let f = Fabric::torus4x4();
+        let t = f.tree(0, NodeId(5));
+        let mut count = 0;
+        for v in 0..(f.num_nodes() + f.num_switches()) {
+            count += t.branches_from(Vertex(v as u32)).len();
+        }
+        assert_eq!(count, t.edges.len());
+    }
+
+    #[test]
+    fn bigger_butterfly_scales() {
+        // 64-node radix-4 butterfly: 3 stages, unicast 4 links, broadcast
+        // 1 + 4 + 16 + 64 = 85 links.
+        let f = Fabric::butterfly(4, 3, 1);
+        assert_eq!(f.num_nodes(), 64);
+        assert_eq!(f.distance(NodeId(0), NodeId(63)), 4);
+        let t = f.tree(0, NodeId(0));
+        assert_eq!(t.weighted_link_count, 85);
+        assert_eq!(t.max_depth_weighted, 4);
+    }
+
+    #[test]
+    fn degenerate_small_tori_work() {
+        let f = Fabric::torus(2, 2);
+        assert_eq!(f.num_nodes(), 4);
+        assert_eq!(f.max_distance(), 2);
+        let t = f.tree(0, NodeId(0));
+        // Spanning tree over 4 switches: 3 weight-1 links.
+        assert_eq!(t.weighted_link_count, 3);
+    }
+
+    #[test]
+    fn eight_node_torus_for_scaling_sweep() {
+        let f = Fabric::torus(4, 2);
+        assert_eq!(f.num_nodes(), 8);
+        let t = f.tree(0, NodeId(3));
+        assert_eq!(t.weighted_link_count, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "radix")]
+    fn butterfly_radix_validation() {
+        let _ = Fabric::butterfly(1, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "plane")]
+    fn tree_plane_bounds_checked() {
+        let f = Fabric::torus4x4();
+        let _ = f.tree(1, NodeId(0));
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-link traffic accounting (Figure 4 substrate).
+//!
+//! The paper charges 8 bytes for every non-data message ("including the
+//! necessary bits of a 44-bit physical address") and 72 bytes for a data
+//! message (64-byte block plus header), and reports per-link traffic split
+//! into **Data**, **Request**, **Nack** and **Misc** classes (§5, Figure 4).
+
+use crate::ids::LinkId;
+use crate::topology::{BroadcastTree, Fabric};
+
+/// Message classes of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Data-carrying messages: 72 bytes (64-byte block + 8-byte header).
+    Data,
+    /// Address requests (snoop broadcasts, directory requests): 8 bytes.
+    Request,
+    /// Negative acknowledgments (DirClassic only): 8 bytes.
+    Nack,
+    /// Everything else: forwards, invalidations, acknowledgments,
+    /// revision/put-ack messages: 8 bytes.
+    Misc,
+}
+
+/// All message classes, in Figure 4 legend order.
+pub const MSG_CLASSES: [MsgClass; 4] = [
+    MsgClass::Data,
+    MsgClass::Request,
+    MsgClass::Nack,
+    MsgClass::Misc,
+];
+
+impl MsgClass {
+    /// Message size in bytes with the paper's default 64-byte block size.
+    pub fn bytes(self) -> u64 {
+        self.bytes_with_block(64)
+    }
+
+    /// Message size in bytes for a given data-block size (the block-size
+    /// sensitivity ablation of §5 varies this).
+    pub fn bytes_with_block(self, block_bytes: u64) -> u64 {
+        match self {
+            MsgClass::Data => block_bytes + 8,
+            _ => 8,
+        }
+    }
+
+    const fn slot(self) -> usize {
+        match self {
+            MsgClass::Data => 0,
+            MsgClass::Request => 1,
+            MsgClass::Nack => 2,
+            MsgClass::Misc => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MsgClass::Data => "Data",
+            MsgClass::Request => "Request",
+            MsgClass::Nack => "Nack",
+            MsgClass::Misc => "Misc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulates bytes crossing each weight-1 fabric link, by message class.
+///
+/// # Example
+///
+/// ```
+/// use tss_net::{Fabric, NodeId, MsgClass, TrafficLedger};
+/// let f = Fabric::butterfly16();
+/// let mut ledger = TrafficLedger::new(&f);
+/// // One snoop broadcast: 8 bytes over each of the 21 tree links.
+/// ledger.record_tree(f.tree(0, NodeId(0)), MsgClass::Request);
+/// assert_eq!(ledger.class_total(MsgClass::Request), 21 * 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficLedger {
+    /// `bytes[link][class]`.
+    bytes: Vec<[u64; 4]>,
+    /// Per-class message counts (messages, not link-crossings).
+    messages: [u64; 4],
+    /// Weights per link (to skip on-die attachments).
+    weights: Vec<u32>,
+    block_bytes: u64,
+    weighted_links: u64,
+}
+
+impl TrafficLedger {
+    /// Creates an empty ledger for `fabric` with 64-byte blocks.
+    pub fn new(fabric: &Fabric) -> Self {
+        Self::with_block_bytes(fabric, 64)
+    }
+
+    /// Creates an empty ledger with a custom block size (block-size
+    /// sensitivity ablation).
+    pub fn with_block_bytes(fabric: &Fabric, block_bytes: u64) -> Self {
+        TrafficLedger {
+            bytes: vec![[0; 4]; fabric.links().len()],
+            messages: [0; 4],
+            weights: fabric.links().iter().map(|l| l.weight).collect(),
+            block_bytes,
+            weighted_links: fabric.weighted_link_count() as u64,
+        }
+    }
+
+    /// Records one unicast message traversing `links`.
+    pub fn record_path(&mut self, links: &[LinkId], class: MsgClass) {
+        let size = class.bytes_with_block(self.block_bytes);
+        self.messages[class.slot()] += 1;
+        for l in links {
+            if self.weights[l.index()] == 1 {
+                self.bytes[l.index()][class.slot()] += size;
+            }
+        }
+    }
+
+    /// Records one broadcast traversing every link of `tree`.
+    pub fn record_tree(&mut self, tree: &BroadcastTree, class: MsgClass) {
+        let size = class.bytes_with_block(self.block_bytes);
+        self.messages[class.slot()] += 1;
+        for e in &tree.edges {
+            if self.weights[e.link.index()] == 1 {
+                self.bytes[e.link.index()][class.slot()] += size;
+            }
+        }
+    }
+
+    /// Total bytes of `class` summed over all links.
+    pub fn class_total(&self, class: MsgClass) -> u64 {
+        self.bytes.iter().map(|b| b[class.slot()]).sum()
+    }
+
+    /// Grand total bytes over all links and classes.
+    pub fn total(&self) -> u64 {
+        MSG_CLASSES.iter().map(|&c| self.class_total(c)).sum()
+    }
+
+    /// Mean bytes per weight-1 link (the y-axis quantity of Figure 4 before
+    /// normalisation).
+    pub fn per_link_mean(&self) -> f64 {
+        self.total() as f64 / self.weighted_links as f64
+    }
+
+    /// Bytes on the single busiest link (hotspot metric).
+    pub fn per_link_max(&self) -> u64 {
+        self.bytes
+            .iter()
+            .map(|b| b.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of messages recorded for `class`.
+    pub fn message_count(&self, class: MsgClass) -> u64 {
+        self.messages[class.slot()]
+    }
+
+    /// Merges another ledger (e.g. from a second virtual network) into this
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledgers were built for different fabrics.
+    pub fn merge(&mut self, other: &TrafficLedger) {
+        assert_eq!(
+            self.bytes.len(),
+            other.bytes.len(),
+            "cannot merge ledgers from different fabrics"
+        );
+        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        for (m, o) in self.messages.iter_mut().zip(&other.messages) {
+            *m += o;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn message_sizes_match_paper() {
+        assert_eq!(MsgClass::Data.bytes(), 72);
+        assert_eq!(MsgClass::Request.bytes(), 8);
+        assert_eq!(MsgClass::Nack.bytes(), 8);
+        assert_eq!(MsgClass::Misc.bytes(), 8);
+        // Block-size ablation: 128-byte blocks.
+        assert_eq!(MsgClass::Data.bytes_with_block(128), 136);
+        assert_eq!(MsgClass::Request.bytes_with_block(128), 8);
+    }
+
+    #[test]
+    fn back_of_envelope_butterfly_broadcast_plus_data() {
+        // §5: "a timestamp snooping transaction sends an address packet over
+        // 21 links and receives a data packet over three links, for a total
+        // bandwidth of 384 bytes (21*8 + 3*72)".
+        let f = Fabric::butterfly16();
+        let mut ledger = TrafficLedger::new(&f);
+        ledger.record_tree(f.tree(0, NodeId(0)), MsgClass::Request);
+        ledger.record_path(f.unicast_links(0, NodeId(5), NodeId(0)), MsgClass::Data);
+        assert_eq!(ledger.total(), 21 * 8 + 3 * 72);
+        assert_eq!(ledger.total(), 384);
+    }
+
+    #[test]
+    fn directory_miss_uses_240_bytes_on_butterfly() {
+        // §5: "Directory protocols, at a minimum, send an address packet
+        // over three links and receive a data packet over three links, for a
+        // total of 240 bytes".
+        let f = Fabric::butterfly16();
+        let mut ledger = TrafficLedger::new(&f);
+        ledger.record_path(f.unicast_links(0, NodeId(3), NodeId(9)), MsgClass::Request);
+        ledger.record_path(f.unicast_links(0, NodeId(9), NodeId(3)), MsgClass::Data);
+        assert_eq!(ledger.total(), 3 * 8 + 3 * 72);
+        assert_eq!(ledger.total(), 240);
+    }
+
+    #[test]
+    fn torus_self_messages_cost_nothing() {
+        let f = Fabric::torus4x4();
+        let mut ledger = TrafficLedger::new(&f);
+        ledger.record_path(f.unicast_links(0, NodeId(4), NodeId(4)), MsgClass::Data);
+        assert_eq!(ledger.total(), 0);
+        assert_eq!(ledger.message_count(MsgClass::Data), 1);
+    }
+
+    #[test]
+    fn per_link_stats() {
+        let f = Fabric::torus4x4();
+        let mut ledger = TrafficLedger::new(&f);
+        ledger.record_tree(f.tree(0, NodeId(2)), MsgClass::Request);
+        // 15 tree links x 8 bytes over 64 weighted links.
+        assert_eq!(ledger.total(), 120);
+        assert!((ledger.per_link_mean() - 120.0 / 64.0).abs() < 1e-12);
+        assert_eq!(ledger.per_link_max(), 8);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let f = Fabric::torus4x4();
+        let mut a = TrafficLedger::new(&f);
+        let mut b = TrafficLedger::new(&f);
+        a.record_path(f.unicast_links(0, NodeId(0), NodeId(1)), MsgClass::Data);
+        b.record_path(f.unicast_links(0, NodeId(0), NodeId(1)), MsgClass::Nack);
+        a.merge(&b);
+        assert_eq!(a.class_total(MsgClass::Data), 72);
+        assert_eq!(a.class_total(MsgClass::Nack), 8);
+        assert_eq!(a.message_count(MsgClass::Nack), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Point-to-point virtual networks.
+//!
+//! Data responses, directory requests, forwards, invalidations and
+//! acknowledgments travel on unordered (or, for DirOpt's forwarded-request
+//! network, point-to-point ordered) virtual networks sharing the physical
+//! fabric (§2, §4.2). As in the paper's evaluation, delivery is at unloaded
+//! latency; the paper's perturbation methodology adds small random delays,
+//! which callers pass in as `extra`.
+
+use std::collections::HashMap;
+
+use tss_sim::{Duration, Time};
+
+use crate::ids::NodeId;
+use crate::topology::Fabric;
+use crate::traffic::{MsgClass, TrafficLedger};
+
+/// Delivery-order guarantee of a virtual network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VnetOrdering {
+    /// No guarantee: messages between the same pair may reorder (all
+    /// DirClassic networks; the data network).
+    Unordered,
+    /// Point-to-point FIFO per (source, destination) pair — the property
+    /// DirOpt relies on for its forwarded-request network (§4.2).
+    PointToPoint,
+}
+
+/// A point-to-point virtual network over a [`Fabric`].
+///
+/// Computes unloaded delivery times, enforces per-pair FIFO when requested,
+/// and accounts traffic per link and message class.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tss_net::{Fabric, MsgClass, NodeId, UnicastNet, VnetOrdering};
+/// use tss_sim::{Duration, Time};
+///
+/// let fabric = Arc::new(Fabric::torus4x4());
+/// let mut data = UnicastNet::new(fabric, VnetOrdering::Unordered);
+/// // Node 0 -> node 1 is one hop: 4 + 15 ns.
+/// let at = data.send(Time::from_ns(0), NodeId(0), NodeId(1), MsgClass::Data, Duration::ZERO);
+/// assert_eq!(at, Time::from_ns(19));
+/// ```
+#[derive(Debug)]
+pub struct UnicastNet {
+    fabric: std::sync::Arc<Fabric>,
+    ordering: VnetOrdering,
+    d_ovh: Duration,
+    d_switch: Duration,
+    ledger: TrafficLedger,
+    plane_rr: Vec<u32>,
+    last_delivery: HashMap<(NodeId, NodeId), Time>,
+}
+
+impl UnicastNet {
+    /// Creates a virtual network with the paper's Table 2 timing
+    /// (`D_ovh = 4 ns`, `D_switch = 15 ns`) and 64-byte blocks.
+    pub fn new(fabric: std::sync::Arc<Fabric>, ordering: VnetOrdering) -> Self {
+        Self::with_timing(
+            fabric,
+            ordering,
+            Duration::from_ns(4),
+            Duration::from_ns(15),
+            64,
+        )
+    }
+
+    /// Creates a virtual network with custom timing and block size.
+    pub fn with_timing(
+        fabric: std::sync::Arc<Fabric>,
+        ordering: VnetOrdering,
+        d_ovh: Duration,
+        d_switch: Duration,
+        block_bytes: u64,
+    ) -> Self {
+        let ledger = TrafficLedger::with_block_bytes(&fabric, block_bytes);
+        let n = fabric.num_nodes();
+        UnicastNet {
+            fabric,
+            ordering,
+            d_ovh,
+            d_switch,
+            ledger,
+            plane_rr: vec![0; n],
+            last_delivery: HashMap::new(),
+        }
+    }
+
+    /// Unloaded latency from `src` to `dst` (zero distance for
+    /// `src == dst` still pays `D_ovh`).
+    pub fn latency(&self, src: NodeId, dst: NodeId) -> Duration {
+        self.d_ovh + self.d_switch * self.fabric.distance(src, dst) as u64
+    }
+
+    /// Sends one message, returning its delivery time.
+    ///
+    /// `extra` is additional latency injected by the caller (the paper's
+    /// random response perturbation). On a [`VnetOrdering::PointToPoint`]
+    /// network the result never precedes an earlier send to the same
+    /// destination pair, preserving FIFO even under perturbation.
+    pub fn send(
+        &mut self,
+        now: Time,
+        src: NodeId,
+        dst: NodeId,
+        class: MsgClass,
+        extra: Duration,
+    ) -> Time {
+        let plane = (self.plane_rr[src.index()] as usize) % self.fabric.planes();
+        self.plane_rr[src.index()] = self.plane_rr[src.index()].wrapping_add(1);
+        self.ledger
+            .record_path(self.fabric.unicast_links(plane, src, dst), class);
+
+        let mut at = now + self.latency(src, dst) + extra;
+        if self.ordering == VnetOrdering::PointToPoint {
+            let slot = self.last_delivery.entry((src, dst)).or_insert(Time::ZERO);
+            if at < *slot {
+                at = *slot;
+            }
+            *slot = at;
+        }
+        at
+    }
+
+    /// The traffic recorded on this virtual network.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// The fabric this network runs over.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn latency_matches_table2_one_way() {
+        let bf = UnicastNet::new(Arc::new(Fabric::butterfly16()), VnetOrdering::Unordered);
+        assert_eq!(bf.latency(NodeId(0), NodeId(9)), Duration::from_ns(49));
+        let torus = UnicastNet::new(Arc::new(Fabric::torus4x4()), VnetOrdering::Unordered);
+        assert_eq!(torus.latency(NodeId(0), NodeId(1)), Duration::from_ns(19));
+        assert_eq!(torus.latency(NodeId(0), NodeId(10)), Duration::from_ns(64));
+        assert_eq!(torus.latency(NodeId(3), NodeId(3)), Duration::from_ns(4));
+    }
+
+    #[test]
+    fn torus_mean_one_way_latency_is_34ns() {
+        // Table 2: "One way latency ... mean D_ovh + 2*D_switch = 34 ns".
+        let torus = UnicastNet::new(Arc::new(Fabric::torus4x4()), VnetOrdering::Unordered);
+        let mut total = 0u64;
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                total += torus.latency(NodeId(a), NodeId(b)).as_ns();
+            }
+        }
+        assert_eq!(total as f64 / 256.0, 34.0);
+    }
+
+    #[test]
+    fn unordered_allows_overtaking_but_p2p_does_not() {
+        let fabric = Arc::new(Fabric::torus4x4());
+        let mut unord = UnicastNet::new(Arc::clone(&fabric), VnetOrdering::Unordered);
+        let a = unord.send(
+            Time::from_ns(0),
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Misc,
+            Duration::from_ns(50),
+        );
+        let b = unord.send(
+            Time::from_ns(1),
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Misc,
+            Duration::ZERO,
+        );
+        assert!(b < a, "unordered vnet may reorder");
+
+        let mut p2p = UnicastNet::new(fabric, VnetOrdering::PointToPoint);
+        let a = p2p.send(
+            Time::from_ns(0),
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Misc,
+            Duration::from_ns(50),
+        );
+        let b = p2p.send(
+            Time::from_ns(1),
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Misc,
+            Duration::ZERO,
+        );
+        assert!(b >= a, "point-to-point vnet must preserve FIFO");
+    }
+
+    #[test]
+    fn p2p_only_constrains_same_pair() {
+        let fabric = Arc::new(Fabric::torus4x4());
+        let mut p2p = UnicastNet::new(fabric, VnetOrdering::PointToPoint);
+        let slow = p2p.send(
+            Time::from_ns(0),
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Misc,
+            Duration::from_ns(500),
+        );
+        let other_pair = p2p.send(
+            Time::from_ns(1),
+            NodeId(0),
+            NodeId(2),
+            MsgClass::Misc,
+            Duration::ZERO,
+        );
+        assert!(other_pair < slow);
+    }
+
+    #[test]
+    fn traffic_is_recorded_per_class() {
+        let fabric = Arc::new(Fabric::butterfly16());
+        let mut net = UnicastNet::new(fabric, VnetOrdering::Unordered);
+        net.send(
+            Time::from_ns(0),
+            NodeId(0),
+            NodeId(5),
+            MsgClass::Data,
+            Duration::ZERO,
+        );
+        net.send(
+            Time::from_ns(0),
+            NodeId(5),
+            NodeId(0),
+            MsgClass::Nack,
+            Duration::ZERO,
+        );
+        assert_eq!(net.ledger().class_total(MsgClass::Data), 3 * 72);
+        assert_eq!(net.ledger().class_total(MsgClass::Nack), 3 * 8);
+    }
+
+    #[test]
+    fn self_sends_cost_no_fabric_traffic() {
+        let fabric = Arc::new(Fabric::butterfly16());
+        let mut net = UnicastNet::new(fabric, VnetOrdering::Unordered);
+        let at = net.send(
+            Time::from_ns(10),
+            NodeId(7),
+            NodeId(7),
+            MsgClass::Data,
+            Duration::ZERO,
+        );
+        assert_eq!(at, Time::from_ns(14)); // D_ovh only
+        assert_eq!(net.ledger().total(), 0);
+    }
+}

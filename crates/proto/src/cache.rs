@@ -1,0 +1,333 @@
+//! Set-associative L2 cache model (tag array, LRU, MSI stable states and a
+//! verification value per block).
+//!
+//! The paper's target: a unified 4 MB, 4-way, 64-byte-block L2 per node
+//! (§4.2), with silent S→I downgrades allowed.
+
+use std::collections::HashMap;
+
+use crate::types::Block;
+
+/// Stable MSI states of a cached block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// Shared: readable, memory (or an owner) holds the authoritative copy.
+    Shared,
+    /// Modified: this cache owns the only valid copy.
+    Modified,
+}
+
+/// Geometry of an L2 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (paper: 4 MiB).
+    pub capacity_bytes: u64,
+    /// Associativity (paper: 4-way).
+    pub ways: u32,
+    /// Block size in bytes (paper: 64).
+    pub block_bytes: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L2: 4 MiB, 4-way, 64-byte blocks.
+    pub fn paper_default() -> Self {
+        CacheConfig {
+            capacity_bytes: 4 << 20,
+            ways: 4,
+            block_bytes: 64,
+        }
+    }
+
+    /// A tiny cache for eviction-heavy unit tests.
+    pub fn tiny(sets: u64, ways: u32) -> Self {
+        CacheConfig {
+            capacity_bytes: sets * ways as u64 * 64,
+            ways,
+            block_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.block_bytes * self.ways as u64)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: Block,
+    state: CacheState,
+    value: u64,
+    last_use: u64,
+}
+
+/// A victim evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted block.
+    pub block: Block,
+    /// Whether it was Modified (needs a writeback) — Shared evictions are
+    /// silent (§4.2).
+    pub dirty: bool,
+    /// Its value at eviction.
+    pub value: u64,
+}
+
+/// One node's L2 cache.
+///
+/// Only stable states live here; transient (in-flight) state is tracked by
+/// each protocol engine's MSHRs. Lookups and fills maintain LRU order.
+#[derive(Debug)]
+pub struct L2Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    /// Blocks this node has ever touched (Table 3's "total data touched"
+    /// is the union across nodes).
+    touched: HashMap<Block, ()>,
+}
+
+impl L2Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets or ways).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.ways > 0, "cache needs at least one way");
+        assert!(cfg.sets() > 0, "cache needs at least one set");
+        L2Cache {
+            sets: (0..cfg.sets()).map(|_| Vec::new()).collect(),
+            cfg,
+            tick: 0,
+            touched: HashMap::new(),
+        }
+    }
+
+    fn set_of(&self, block: Block) -> usize {
+        (block.0 % self.cfg.sets()) as usize
+    }
+
+    /// The state of `block`, if present.
+    pub fn state(&self, block: Block) -> Option<CacheState> {
+        let set = &self.sets[self.set_of(block)];
+        set.iter().find(|l| l.block == block).map(|l| l.state)
+    }
+
+    /// The cached value of `block`, if present.
+    pub fn value(&self, block: Block) -> Option<u64> {
+        let set = &self.sets[self.set_of(block)];
+        set.iter().find(|l| l.block == block).map(|l| l.value)
+    }
+
+    /// Looks `block` up, refreshing LRU. Returns its state if present.
+    pub fn touch(&mut self, block: Block) -> Option<CacheState> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.touched.insert(block, ());
+        let set_idx = self.set_of(block);
+        let set = &mut self.sets[set_idx];
+        set.iter_mut().find(|l| l.block == block).map(|l| {
+            l.last_use = tick;
+            l.state
+        })
+    }
+
+    /// Writes `value` to a present block (stores hitting in M, or protocol
+    /// data application).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not cached.
+    pub fn write(&mut self, block: Block, value: u64) {
+        let set_idx = self.set_of(block);
+        let line = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.block == block)
+            .expect("write to uncached block");
+        line.value = value;
+    }
+
+    /// Changes the state of a present block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not cached.
+    pub fn set_state(&mut self, block: Block, state: CacheState) {
+        let set_idx = self.set_of(block);
+        let line = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.block == block)
+            .expect("state change on uncached block");
+        line.state = state;
+    }
+
+    /// Removes `block` (invalidations, M→I transfers). No-op if absent.
+    pub fn invalidate(&mut self, block: Block) {
+        let set_idx = self.set_of(block);
+        self.sets[set_idx].retain(|l| l.block != block);
+    }
+
+    /// Inserts `block`, evicting the LRU line if the set is full.
+    ///
+    /// The victim is returned so the protocol can write it back (M) or drop
+    /// it silently (S). `protect` is a block that must **not** be chosen as
+    /// victim (the block of the outstanding miss that triggered this fill).
+    pub fn fill(
+        &mut self,
+        block: Block,
+        state: CacheState,
+        value: u64,
+        protect: Option<Block>,
+    ) -> Option<Victim> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.touched.insert(block, ());
+        let ways = self.cfg.ways as usize;
+        let set_idx = self.set_of(block);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.block == block) {
+            line.state = state;
+            line.value = value;
+            line.last_use = tick;
+            return None;
+        }
+        let mut victim = None;
+        if set.len() >= ways {
+            let idx = set
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| Some(l.block) != protect)
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set full of protected blocks");
+            let evicted = set.swap_remove(idx);
+            victim = Some(Victim {
+                block: evicted.block,
+                dirty: evicted.state == CacheState::Modified,
+                value: evicted.value,
+            });
+        }
+        set.push(Line {
+            block,
+            state,
+            value,
+            last_use: tick,
+        });
+        victim
+    }
+
+    /// Number of distinct blocks ever touched by this cache.
+    pub fn touched_blocks(&self) -> u64 {
+        self.touched.len() as u64
+    }
+
+    /// Iterates over all currently cached (block, state, value) triples.
+    pub fn iter(&self) -> impl Iterator<Item = (Block, CacheState, u64)> + '_ {
+        self.sets
+            .iter()
+            .flatten()
+            .map(|l| (l.block, l.state, l.value))
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let cfg = CacheConfig::paper_default();
+        // 4 MiB / (64 B x 4 ways) = 16384 sets.
+        assert_eq!(cfg.sets(), 16384);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = L2Cache::new(CacheConfig::tiny(4, 2));
+        assert_eq!(c.touch(Block(1)), None);
+        assert_eq!(c.fill(Block(1), CacheState::Shared, 7, None), None);
+        assert_eq!(c.touch(Block(1)), Some(CacheState::Shared));
+        assert_eq!(c.value(Block(1)), Some(7));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut c = L2Cache::new(CacheConfig::tiny(1, 2));
+        c.fill(Block(0), CacheState::Shared, 0, None);
+        c.fill(Block(1), CacheState::Shared, 1, None);
+        c.touch(Block(0)); // refresh 0 so 1 becomes LRU
+        let v = c.fill(Block(2), CacheState::Shared, 2, None).unwrap();
+        assert_eq!(v.block, Block(1));
+        assert!(!v.dirty, "shared eviction is silent");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_value() {
+        let mut c = L2Cache::new(CacheConfig::tiny(1, 1));
+        c.fill(Block(0), CacheState::Modified, 42, None);
+        let v = c.fill(Block(64), CacheState::Shared, 0, None).unwrap();
+        assert_eq!(v, Victim { block: Block(0), dirty: true, value: 42 });
+    }
+
+    #[test]
+    fn protected_block_is_not_evicted() {
+        let mut c = L2Cache::new(CacheConfig::tiny(1, 2));
+        c.fill(Block(0), CacheState::Modified, 1, None);
+        c.fill(Block(64), CacheState::Shared, 2, None);
+        c.touch(Block(64));
+        c.touch(Block(0)); // 64 is LRU...
+        let v = c.fill(Block(128), CacheState::Shared, 3, Some(Block(64))).unwrap();
+        // ...but 64 is protected, so 0 goes instead.
+        assert_eq!(v.block, Block(0));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = L2Cache::new(CacheConfig::tiny(2, 2));
+        c.fill(Block(3), CacheState::Shared, 0, None);
+        c.invalidate(Block(3));
+        assert_eq!(c.state(Block(3)), None);
+        c.invalidate(Block(99)); // absent: no-op
+    }
+
+    #[test]
+    fn write_and_state_change() {
+        let mut c = L2Cache::new(CacheConfig::tiny(2, 2));
+        c.fill(Block(3), CacheState::Shared, 0, None);
+        c.set_state(Block(3), CacheState::Modified);
+        c.write(Block(3), 9);
+        assert_eq!(c.state(Block(3)), Some(CacheState::Modified));
+        assert_eq!(c.value(Block(3)), Some(9));
+    }
+
+    #[test]
+    fn refill_of_present_block_updates_in_place() {
+        let mut c = L2Cache::new(CacheConfig::tiny(1, 1));
+        c.fill(Block(0), CacheState::Shared, 1, None);
+        assert_eq!(c.fill(Block(0), CacheState::Modified, 2, None), None);
+        assert_eq!(c.state(Block(0)), Some(CacheState::Modified));
+        assert_eq!(c.value(Block(0)), Some(2));
+    }
+
+    #[test]
+    fn touched_counts_distinct_blocks() {
+        let mut c = L2Cache::new(CacheConfig::tiny(1, 1));
+        c.fill(Block(0), CacheState::Shared, 0, None);
+        c.fill(Block(64), CacheState::Shared, 0, None); // evicts 0
+        c.touch(Block(64));
+        assert_eq!(c.touched_blocks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncached")]
+    fn write_to_absent_block_panics() {
+        let mut c = L2Cache::new(CacheConfig::tiny(1, 1));
+        c.write(Block(0), 1);
+    }
+}

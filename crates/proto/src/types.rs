@@ -1,0 +1,414 @@
+//! Shared protocol vocabulary: blocks, CPU operations, address
+//! transactions, point-to-point messages and the [`Protocol`] interface.
+
+use tss_net::{MsgClass, NodeId};
+use tss_sim::{Duration, Time};
+
+/// A cache-block address (byte address divided by the block size).
+///
+/// The paper uses 64-byte blocks and a 44-bit physical address space; a
+/// `u64` block number covers that with room for the block-size ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Block(pub u64);
+
+impl Block {
+    /// The home node of this block: physical memory is interleaved across
+    /// all `n` processor/memory nodes at block granularity (§4.2: "a memory
+    /// controller for part of the globally shared memory" per node).
+    pub fn home(self, n: usize) -> NodeId {
+        NodeId((self.0 % n as u64) as u16)
+    }
+}
+
+impl std::fmt::Display for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blk{:#x}", self.0)
+    }
+}
+
+/// One memory operation issued by a processor to its L2 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuOp {
+    /// Read a block.
+    Load(Block),
+    /// Write a block (modeled as an increment of the block's value so the
+    /// verification layer can count lost updates).
+    Store(Block),
+    /// Atomic read-modify-write (test-and-set style): coherence-wise a
+    /// store, but the returned value is observed.
+    Rmw(Block),
+}
+
+impl CpuOp {
+    /// The block this operation touches.
+    pub fn block(self) -> Block {
+        match self {
+            CpuOp::Load(b) | CpuOp::Store(b) | CpuOp::Rmw(b) => b,
+        }
+    }
+
+    /// Whether the operation requires write (M) permission.
+    pub fn is_write(self) -> bool {
+        !matches!(self, CpuOp::Load(_))
+    }
+}
+
+/// Snooping address-transaction kinds (the paper's §4.2: "get an S copy,
+/// get an M copy, writeback an M copy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Get a shared copy.
+    GetS,
+    /// Get an exclusive (modifiable) copy.
+    GetM,
+    /// Write back an M copy.
+    PutM,
+}
+
+/// A broadcast address transaction (TS-Snoop) or directory request kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrTxn {
+    /// What is being requested.
+    pub kind: TxnKind,
+    /// The block.
+    pub block: Block,
+    /// Who asked.
+    pub requester: NodeId,
+}
+
+/// Identifies the ordered snooping transaction a writeback message
+/// resolves: memory's deferred log matches writebacks to the position
+/// where they were promised (see `TsSnoop`'s memory controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WbKey {
+    /// The writeback promised when `NodeId`'s own PutM was ordered.
+    PutM(NodeId),
+    /// The writeback promised when a GetS from `NodeId` forced the owner
+    /// to transfer the block home (MSI M→S).
+    GetS(NodeId),
+}
+
+/// Point-to-point protocol messages (data network + directory virtual
+/// networks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// A data response carrying the block value. `acks_expected` is the
+    /// invalidation-ack count a DirClassic requester must collect before
+    /// completing a store (0 elsewhere). `from_cache` marks cache-to-cache
+    /// transfers for the Table 3 statistic.
+    Data {
+        /// The block.
+        block: Block,
+        /// Block contents (the verification payload).
+        value: u64,
+        /// DirClassic: invalidation acks the requester must await.
+        acks_expected: u32,
+        /// True when another cache (not memory) supplied the data.
+        from_cache: bool,
+    },
+    /// Writeback data to the home memory (snooping M→S transfers and
+    /// ordered PUTM completions). `key` identifies which ordered event this
+    /// writeback resolves, so memory can apply it at the correct position
+    /// of its deferred log.
+    WbData {
+        /// The block.
+        block: Block,
+        /// Block contents.
+        value: u64,
+        /// Which ordered transaction triggered this writeback.
+        key: WbKey,
+    },
+    /// A writeback that lost the race: the source no longer owned the block
+    /// when its PutM was ordered; memory must not take ownership.
+    WbNoData {
+        /// The block.
+        block: Block,
+        /// Which ordered transaction triggered this (non-)writeback.
+        key: WbKey,
+    },
+    /// Directory request (GETS/GETM to the home node).
+    DirReq {
+        /// Request kind (PutM requests carry data; see `value`).
+        kind: TxnKind,
+        /// The block.
+        block: Block,
+        /// Originating cache.
+        requester: NodeId,
+        /// Writeback value for `TxnKind::PutM`, 0 otherwise.
+        value: u64,
+    },
+    /// Home→owner forward of a request (the directory "three hop").
+    Fwd {
+        /// Forwarded request kind (GetS or GetM).
+        kind: TxnKind,
+        /// The block.
+        block: Block,
+        /// Cache that should receive the data.
+        requester: NodeId,
+    },
+    /// Home→sharer invalidation; `requester` tells DirClassic sharers where
+    /// to send the ack.
+    Inval {
+        /// The block.
+        block: Block,
+        /// The store's requester (DirClassic ack target).
+        requester: NodeId,
+    },
+    /// Sharer→requester invalidation ack (DirClassic only).
+    InvAck {
+        /// The block.
+        block: Block,
+    },
+    /// Owner→home ownership/sharing revision after serving a forwarded
+    /// GetS: carries the up-to-date block contents so memory can re-own
+    /// the block (a full data message — the MSI "two data messages" cost
+    /// the paper's §5 bandwidth discussion notes).
+    Revision {
+        /// The block.
+        block: Block,
+        /// Block contents.
+        value: u64,
+    },
+    /// Owner→home notice after serving a forwarded GetM: ownership moved to
+    /// `new_owner`; memory stays stale (DirClassic busy-window closure).
+    Transfer {
+        /// The block.
+        block: Block,
+        /// The cache that now owns the block.
+        new_owner: NodeId,
+    },
+    /// Home→requester negative acknowledgment (DirClassic): retry.
+    Nack {
+        /// The original request kind.
+        kind: TxnKind,
+        /// The block.
+        block: Block,
+    },
+    /// Home→evictor acknowledgment of a PutM.
+    PutAck {
+        /// The block.
+        block: Block,
+        /// False when the writeback was stale (ownership had already moved).
+        accepted: bool,
+    },
+}
+
+impl Msg {
+    /// The Figure 4 traffic class this message belongs to.
+    pub fn class(self) -> MsgClass {
+        match self {
+            Msg::Data { .. } | Msg::WbData { .. } => MsgClass::Data,
+            // Directory writebacks and sharing revisions carry the block.
+            Msg::DirReq { kind: TxnKind::PutM, .. } => MsgClass::Data,
+            Msg::Revision { .. } => MsgClass::Data,
+            Msg::DirReq { .. } => MsgClass::Request,
+            Msg::Nack { .. } => MsgClass::Nack,
+            Msg::WbNoData { .. }
+            | Msg::Fwd { .. }
+            | Msg::Inval { .. }
+            | Msg::InvAck { .. }
+            | Msg::Transfer { .. }
+            | Msg::PutAck { .. } => MsgClass::Misc,
+        }
+    }
+
+    /// The block this message concerns.
+    pub fn block(self) -> Block {
+        match self {
+            Msg::Data { block, .. }
+            | Msg::WbData { block, .. }
+            | Msg::WbNoData { block, .. }
+            | Msg::DirReq { block, .. }
+            | Msg::Fwd { block, .. }
+            | Msg::Inval { block, .. }
+            | Msg::InvAck { block }
+            | Msg::Revision { block, .. }
+            | Msg::Transfer { block, .. }
+            | Msg::Nack { block, .. }
+            | Msg::PutAck { block, .. } => block,
+        }
+    }
+}
+
+/// Which virtual network a message travels on (§4.2: TS-Snoop uses two,
+/// the directory protocols three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vnet {
+    /// Unordered data-response network (all protocols).
+    Data,
+    /// Unordered request network (directory protocols).
+    Request,
+    /// Forwarded-request network: unordered for DirClassic, point-to-point
+    /// ordered for DirOpt (how DirOpt "avoids nacks", §4.2).
+    Forward,
+}
+
+/// Actions a protocol engine asks the system to perform.
+#[derive(Debug, Clone)]
+pub enum ProtoAction {
+    /// Broadcast an address transaction on the timestamp-ordered network
+    /// (snooping only).
+    Broadcast {
+        /// Sourcing node.
+        src: NodeId,
+        /// The transaction.
+        txn: AddrTxn,
+    },
+    /// Send a point-to-point message after `delay` (controller occupancy:
+    /// `D_mem` for memory responses, `D_cache` for cache responses).
+    Send {
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// The message.
+        msg: Msg,
+        /// Virtual network to use.
+        vnet: Vnet,
+        /// Controller occupancy before the message enters the network.
+        delay: Duration,
+    },
+    /// The node's outstanding CPU operation is complete; `value` is the
+    /// loaded (or pre-increment RMW) value.
+    Complete {
+        /// The node whose CPU unblocks.
+        node: NodeId,
+        /// Observed value.
+        value: u64,
+    },
+}
+
+/// Events the system routes into a protocol engine.
+#[derive(Debug, Clone)]
+pub enum ProtoEvent {
+    /// An address transaction reached its place in the logical total order
+    /// at `dest` (snooping). `arrival` is the physical arrival time, used
+    /// by the §3 prefetch optimisation.
+    Snooped {
+        /// The endpoint processing the transaction.
+        dest: NodeId,
+        /// The transaction.
+        txn: AddrTxn,
+        /// Physical arrival time at `dest` (<= the ordering time).
+        arrival: Time,
+    },
+    /// A point-to-point message was delivered to `dest`.
+    Delivered {
+        /// The receiving node.
+        dest: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+}
+
+/// Per-protocol counters for Table 3 and Figure 3/4 reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProtocolStats {
+    /// L2 misses (all kinds).
+    pub misses: u64,
+    /// Misses whose data came from another cache ("3-hop misses" /
+    /// cache-to-cache transfers — Table 3).
+    pub cache_to_cache: u64,
+    /// L2 hits.
+    pub hits: u64,
+    /// Writebacks issued (dirty evictions).
+    pub writebacks: u64,
+    /// Negative acknowledgments received (DirClassic).
+    pub nacks: u64,
+    /// Requests re-issued after a nack.
+    pub retries: u64,
+}
+
+/// A cache-coherence protocol engine: one object models the cache,
+/// directory and memory controllers of **all** nodes, reacting to events
+/// with actions.
+///
+/// Engines are deterministic state machines; all timing (network latency,
+/// controller occupancy, perturbation) is applied by the caller, which is
+/// what lets the same engine run under the fast or detailed network.
+pub trait Protocol {
+    /// Issues a CPU operation at `node`. On a hit the engine immediately
+    /// emits [`ProtoAction::Complete`]; on a miss it starts the coherence
+    /// flow. At most one operation may be outstanding per node (the paper's
+    /// blocking processor model).
+    fn cpu_op(&mut self, now: Time, node: NodeId, op: CpuOp, out: &mut Vec<ProtoAction>);
+
+    /// Delivers a network event.
+    fn handle(&mut self, now: Time, event: ProtoEvent, out: &mut Vec<ProtoAction>);
+
+    /// Whether this protocol uses the broadcast (snooping) address network.
+    fn uses_snooping(&self) -> bool;
+
+    /// Aggregate statistics so far.
+    fn stats(&self) -> ProtocolStats;
+
+    /// The committed value of `block` at quiescence (M copy if one exists,
+    /// else the memory copy): the verification hook for the lost-update
+    /// invariant.
+    fn final_value(&self, block: Block) -> u64;
+
+    /// At quiescence, checks that no store was ever lost: every written
+    /// block's committed value must equal the number of stores issued to
+    /// it. Returns `Err` describing the first violation. Engines built
+    /// with verification disabled return `Ok(())` vacuously.
+    fn check_lost_updates(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_interleaves_blocks() {
+        assert_eq!(Block(0).home(16), NodeId(0));
+        assert_eq!(Block(17).home(16), NodeId(1));
+        assert_eq!(Block(31).home(16), NodeId(15));
+    }
+
+    #[test]
+    fn op_accessors() {
+        let b = Block(5);
+        assert_eq!(CpuOp::Load(b).block(), b);
+        assert!(!CpuOp::Load(b).is_write());
+        assert!(CpuOp::Store(b).is_write());
+        assert!(CpuOp::Rmw(b).is_write());
+    }
+
+    #[test]
+    fn message_classes_follow_figure4() {
+        let b = Block(1);
+        assert_eq!(
+            Msg::Data { block: b, value: 0, acks_expected: 0, from_cache: false }.class(),
+            MsgClass::Data
+        );
+        assert_eq!(Msg::WbData { block: b, value: 0, key: WbKey::PutM(NodeId(0)) }.class(), MsgClass::Data);
+        assert_eq!(
+            Msg::DirReq { kind: TxnKind::GetS, block: b, requester: NodeId(0), value: 0 }.class(),
+            MsgClass::Request
+        );
+        assert_eq!(
+            Msg::DirReq { kind: TxnKind::PutM, block: b, requester: NodeId(0), value: 0 }.class(),
+            MsgClass::Data,
+            "directory writebacks carry the block"
+        );
+        assert_eq!(Msg::Nack { kind: TxnKind::GetS, block: b }.class(), MsgClass::Nack);
+        assert_eq!(Msg::Inval { block: b, requester: NodeId(0) }.class(), MsgClass::Misc);
+        assert_eq!(Msg::InvAck { block: b }.class(), MsgClass::Misc);
+    }
+
+    #[test]
+    fn message_block_accessor() {
+        let b = Block(9);
+        for m in [
+            Msg::WbNoData { block: b, key: WbKey::PutM(NodeId(1)) },
+            Msg::Revision { block: b, value: 3 },
+            Msg::Transfer { block: b, new_owner: NodeId(2) },
+            Msg::PutAck { block: b, accepted: true },
+            Msg::Fwd { kind: TxnKind::GetM, block: b, requester: NodeId(1) },
+        ] {
+            assert_eq!(m.block(), b);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic event calendar.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Time;
+
+/// A calendar queue of timestamped events.
+///
+/// Events scheduled for the same instant are returned in the order they were
+/// scheduled (FIFO), which makes simulations bit-for-bit reproducible — a
+/// property the paper's methodology leans on when it re-runs perturbed
+/// simulations and takes the minimum (§4.3).
+///
+/// # Example
+///
+/// ```
+/// use tss_sim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_ns(10), 'b');
+/// q.schedule(Time::from_ns(10), 'c'); // same instant: FIFO order
+/// q.schedule(Time::from_ns(3), 'a');
+/// let drained: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(drained, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Time,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time: an event
+    /// handler may only schedule into the present or future.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past ({at:?} < now {:?})",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, advancing the simulation
+    /// clock to its timestamp. Returns `None` when the calendar is empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (a cheap progress metric).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(5), 1);
+        q.schedule(Time::from_ns(2), 2);
+        q.schedule(Time::from_ns(5), 3);
+        q.schedule(Time::from_ns(2), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(7), ());
+        q.schedule(Time::from_ns(7), ());
+        q.schedule(Time::from_ns(9), ());
+        let mut last = Time::ZERO;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.now(), Time::from_ns(9));
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), ());
+        q.pop();
+        q.schedule(Time::from_ns(3), ());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::from_ns(4), 'x');
+        assert_eq!(q.peek_time(), Some(Time::from_ns(4)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Time::from_ns(4), 'x')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn handlers_may_schedule_at_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(5), 1);
+        let (t, _) = q.pop().unwrap();
+        q.schedule(t, 2); // zero-latency follow-up event is allowed
+        assert_eq!(q.pop(), Some((t, 2)));
+    }
+}

@@ -1,0 +1,176 @@
+//! Seeded random-number helpers.
+//!
+//! The paper's methodology (§4.3) re-runs each configuration several times
+//! with "small random delays in all message responses" and reports the
+//! minimum runtime. Everything random in this workspace flows through
+//! [`SimRng`] so that a `(experiment seed, stream id)` pair fully determines
+//! a run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random-number generator for simulations.
+///
+/// Thin wrapper around [`rand::rngs::SmallRng`] that is always constructed
+/// from an explicit seed, never from OS entropy, so every simulation in this
+/// workspace is reproducible.
+///
+/// ```
+/// use tss_sim::rng::SimRng;
+/// let mut a = SimRng::from_seed_and_stream(42, 0);
+/// let mut b = SimRng::from_seed_and_stream(42, 0);
+/// assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng(SmallRng);
+
+impl SimRng {
+    /// Creates a generator from an experiment seed and a stream id.
+    ///
+    /// Distinct streams (e.g. "CPU 3's workload" vs "perturbation noise")
+    /// derived from the same experiment seed are statistically independent:
+    /// the pair is mixed through SplitMix64 before seeding.
+    pub fn from_seed_and_stream(seed: u64, stream: u64) -> Self {
+        let mixed = splitmix64(splitmix64(seed) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        SimRng(SmallRng::seed_from_u64(mixed))
+    }
+
+    /// Uniform sample from `range` (half-open, like [`rand::Rng::gen_range`]).
+    pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.0.gen_range(range)
+    }
+
+    /// Uniform sample from `0..n` as a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        self.0.gen_range(0..n)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.0.gen_bool(p)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// A geometric-ish burst length: samples `1 + G` where `G` counts
+    /// failures of probability-`continue_p` trials (capped at `cap`).
+    ///
+    /// Used by workload generators for run lengths (e.g. how many times a
+    /// producer writes a buffer before handing it off).
+    pub fn burst(&mut self, continue_p: f64, cap: u64) -> u64 {
+        let mut n = 1;
+        while n < cap && self.chance(continue_p) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Samples an index from a discrete cumulative-weight table.
+    ///
+    /// `cumulative` must be non-empty and non-decreasing with a positive
+    /// final value; the return value is the first index whose cumulative
+    /// weight exceeds a uniform draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cumulative` is empty or its last element is not positive.
+    pub fn weighted_index(&mut self, cumulative: &[f64]) -> usize {
+        let total = *cumulative
+            .last()
+            .expect("weighted_index needs at least one weight");
+        assert!(total > 0.0, "cumulative weights must end positive");
+        let draw = self.unit() * total;
+        cumulative
+            .iter()
+            .position(|&c| draw < c)
+            .unwrap_or(cumulative.len() - 1)
+    }
+}
+
+/// SplitMix64 mixing function (public domain; Steele, Lea & Flood's
+/// `java.util.SplittableRandom` finalizer). Used only for seed derivation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_reproduces() {
+        let mut a = SimRng::from_seed_and_stream(7, 3);
+        let mut b = SimRng::from_seed_and_stream(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000), b.gen_range(0..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = SimRng::from_seed_and_stream(7, 0);
+        let mut b = SimRng::from_seed_and_stream(7, 1);
+        let va: Vec<u64> = (0..16).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_seed_and_stream(1, 1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn burst_respects_cap() {
+        let mut r = SimRng::from_seed_and_stream(2, 2);
+        for _ in 0..50 {
+            let n = r.burst(0.99, 8);
+            assert!((1..=8).contains(&n));
+        }
+        assert_eq!(r.burst(0.0, 8), 1);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::from_seed_and_stream(3, 3);
+        // Weights: 0.0 for index 0, all mass on index 1.
+        for _ in 0..100 {
+            assert_eq!(r.weighted_index(&[0.0, 1.0]), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_index_covers_all_buckets() {
+        let mut r = SimRng::from_seed_and_stream(4, 4);
+        let cum = [0.25, 0.5, 1.0];
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[r.weighted_index(&cum)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn index_zero_panics() {
+        SimRng::from_seed_and_stream(0, 0).index(0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Counters and histograms for experiment reporting.
+
+use std::fmt;
+
+use crate::Duration;
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use tss_sim::stats::Counter;
+/// let mut misses = Counter::new();
+/// misses.add(3);
+/// misses.incr();
+/// assert_eq!(misses.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Online mean/min/max accumulator for latency-like samples.
+///
+/// Used to report, e.g., measured cache-to-cache miss latency against the
+/// paper's Table 2 closed-form values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStat {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyStat {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        LatencyStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        let ns = sample.as_ns();
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample in nanoseconds, or `None` if no samples were recorded.
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.total_ns as f64 / self.count as f64)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_ns(self.min_ns))
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_ns(self.max_ns))
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> Duration {
+        Duration::from_ns(self.total_ns)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl fmt::Display for LatencyStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean_ns() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.1}ns min={}ns max={}ns",
+                self.count, mean, self.min_ns, self.max_ns
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+/// Fixed-bucket histogram of small non-negative integer samples (e.g. slack
+/// values at delivery, reorder-queue depths).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `0..buckets`; larger samples land in
+    /// the overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            buckets: vec![0; buckets],
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        match self.buckets.get_mut(sample as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in bucket `i` (`None` if out of range).
+    pub fn bucket(&self, i: usize) -> Option<u64> {
+        self.buckets.get(i).copied()
+    }
+
+    /// Count of samples at or beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Mean sample value, counting overflow samples at the first
+    /// out-of-range value (a lower bound on the true mean).
+    pub fn mean_lower_bound(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let weighted: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as u64 * c)
+            .sum::<u64>()
+            + self.overflow * self.buckets.len() as u64;
+        Some(weighted as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn latency_stat_tracks_extremes() {
+        let mut s = LatencyStat::new();
+        assert_eq!(s.mean_ns(), None);
+        s.record(Duration::from_ns(10));
+        s.record(Duration::from_ns(30));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean_ns(), Some(20.0));
+        assert_eq!(s.min(), Some(Duration::from_ns(10)));
+        assert_eq!(s.max(), Some(Duration::from_ns(30)));
+        assert_eq!(s.total(), Duration::from_ns(40));
+    }
+
+    #[test]
+    fn latency_stat_merge() {
+        let mut a = LatencyStat::new();
+        a.record(Duration::from_ns(5));
+        let mut b = LatencyStat::new();
+        b.record(Duration::from_ns(15));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean_ns(), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 1, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), Some(1));
+        assert_eq!(h.bucket(1), Some(2));
+        assert_eq!(h.bucket(2), Some(0));
+        assert_eq!(h.bucket(3), Some(1));
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+        // (0 + 1 + 1 + 3 + 4) / 5
+        assert_eq!(h.mean_lower_bound(), Some(1.8));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_mean() {
+        let h = Histogram::new(2);
+        assert_eq!(h.mean_lower_bound(), None);
+        assert_eq!(h.total(), 0);
+    }
+}

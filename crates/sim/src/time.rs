@@ -1,0 +1,212 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point in simulated time, measured in integer nanoseconds from the start
+/// of the simulation.
+///
+/// All latencies in the paper's Table 2 are whole nanoseconds (4, 15, 25,
+/// 80 ns), so nanosecond resolution is exact for this reproduction.
+///
+/// ```
+/// use tss_sim::{Duration, Time};
+/// let t = Time::ZERO + Duration::from_ns(49);
+/// assert_eq!(t.as_ns(), 49);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time in integer nanoseconds.
+///
+/// Kept distinct from [`Time`] so that, e.g., a latency cannot accidentally be
+/// used where an absolute deadline is required (C-NEWTYPE).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The start of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinitely far away"
+    /// sentinel for idle components.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time `ns` nanoseconds from the simulation start.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// This instant as integer nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// The duration from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; simulated causality never
+    /// runs backwards.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`since` called with a later time"),
+        )
+    }
+
+    /// Saturating version of [`Time::since`], returning zero when `earlier`
+    /// is in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration of `ns` nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// This duration as integer nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflow"),
+        )
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ns", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ns", self.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = Time::from_ns(100) + Duration::from_ns(49);
+        assert_eq!(t, Time::from_ns(149));
+        assert_eq!(t.since(Time::from_ns(100)), Duration::from_ns(49));
+    }
+
+    #[test]
+    fn durations_scale_like_table2() {
+        // Butterfly one-way latency: D_ovh + 3 * D_switch = 49 ns.
+        let d_ovh = Duration::from_ns(4);
+        let d_switch = Duration::from_ns(15);
+        assert_eq!((d_ovh + d_switch * 3).as_ns(), 49);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = Time::from_ns(5);
+        let late = Time::from_ns(9);
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(late.saturating_since(early), Duration::from_ns(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "later time")]
+    fn since_panics_on_backwards_time() {
+        let _ = Time::from_ns(1).since(Time::from_ns(2));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Time::ZERO < Time::MAX);
+        assert_eq!(Time::from_ns(42).to_string(), "42 ns");
+        assert_eq!(format!("{:?}", Duration::from_ns(7)), "7ns");
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_ns(n)).sum();
+        assert_eq!(total, Duration::from_ns(6));
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic workloads for the timestamp-snooping reproduction.
+//!
+//! The paper evaluates five commercial/scientific workloads under Simics
+//! full-system simulation (Table 1). This crate substitutes
+//! behaviour-calibrated synthetic reference streams — see `DESIGN.md` §2
+//! for why the substitution preserves the results' shape. The five
+//! [`paper`] workloads are calibrated against Table 3 (footprint, miss
+//! count, cache-to-cache fraction); the [`micro`] benchmarks have
+//! analytically known results and validate the memory-system simulator the
+//! way §4.3 describes.
+//!
+//! # Example
+//!
+//! ```
+//! use tss_workloads::paper;
+//!
+//! let spec = paper::dss(0.01); // 1% scale for a quick run
+//! let refs: Vec<_> = spec.stream(0, 16, 1).take(4).collect();
+//! assert_eq!(refs.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod paper;
+mod spec;
+
+pub use spec::{ClassWeights, CpuStream, TraceItem, WorkloadSpec};

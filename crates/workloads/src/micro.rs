@@ -1,0 +1,138 @@
+//! Microbenchmarks with analytically known behaviour.
+//!
+//! The paper validated its memory-system simulator "by simulating
+//! microbenchmarks with known results" (§4.3); these are ours. Each
+//! returns one explicit trace per CPU.
+
+use tss_proto::{Block, CpuOp};
+
+use crate::spec::TraceItem;
+
+fn items(ops: Vec<CpuOp>, gap: u64) -> Vec<TraceItem> {
+    ops.into_iter()
+        .map(|op| TraceItem { gap_instructions: gap, op })
+        .collect()
+}
+
+/// Two CPUs alternately read-modify-write one block: after warm-up, every
+/// operation is a cache-to-cache GETM transfer (the worst case the paper's
+/// Table 2 latencies describe).
+pub fn ping_pong(rounds: u64, gap: u64) -> Vec<Vec<TraceItem>> {
+    let block = Block(0x9000);
+    let per_cpu: Vec<CpuOp> = (0..rounds).map(|_| CpuOp::Rmw(block)).collect();
+    vec![items(per_cpu.clone(), gap), items(per_cpu, gap)]
+}
+
+/// Every CPU streams over its own private blocks: after the cold pass all
+/// references hit; zero cache-to-cache transfers.
+pub fn private_streams(cpus: usize, blocks_per_cpu: u64, passes: u64, gap: u64) -> Vec<Vec<TraceItem>> {
+    (0..cpus)
+        .map(|c| {
+            let base = 0xA000 + c as u64 * blocks_per_cpu;
+            let mut ops = Vec::new();
+            for _ in 0..passes {
+                for b in 0..blocks_per_cpu {
+                    ops.push(CpuOp::Load(Block(base + b)));
+                }
+            }
+            items(ops, gap)
+        })
+        .collect()
+}
+
+/// CPU 0 writes a region once; every other CPU then reads it twice. The
+/// first reader of each block takes a cache-to-cache transfer (the writer
+/// holds M); later readers and second passes are served by memory or hit.
+pub fn single_writer_many_readers(
+    cpus: usize,
+    blocks: u64,
+    gap: u64,
+) -> Vec<Vec<TraceItem>> {
+    let base = 0xB000;
+    let mut traces = Vec::new();
+    let writer: Vec<CpuOp> = (0..blocks).map(|b| CpuOp::Store(Block(base + b))).collect();
+    traces.push(items(writer, gap));
+    for _ in 1..cpus {
+        let mut ops = Vec::new();
+        for pass in 0..2 {
+            let _ = pass;
+            for b in 0..blocks {
+                ops.push(CpuOp::Load(Block(base + b)));
+            }
+        }
+        traces.push(items(ops, gap));
+    }
+    traces
+}
+
+/// A contended lock: every CPU loops acquire → critical section → release
+/// on the *same* lock block. Drives DirClassic's nack machinery hard.
+pub fn lock_storm(cpus: usize, acquisitions: u64, cs_len: u64, gap: u64) -> Vec<Vec<TraceItem>> {
+    let lock = Block(0xC000);
+    (0..cpus)
+        .map(|c| {
+            let mut ops = Vec::new();
+            for i in 0..acquisitions {
+                ops.push(CpuOp::Rmw(lock));
+                for k in 0..cs_len {
+                    // Disjoint per-CPU data inside the critical section.
+                    ops.push(CpuOp::Store(Block(0xC100 + c as u64 * 64 + (i + k) % 4)));
+                }
+                ops.push(CpuOp::Store(lock));
+            }
+            items(ops, gap)
+        })
+        .collect()
+}
+
+/// Builds scripted traces from explicit per-CPU op lists (litmus tests).
+pub fn scripted(per_cpu_ops: Vec<Vec<CpuOp>>, gap: u64) -> Vec<Vec<TraceItem>> {
+    per_cpu_ops.into_iter().map(|ops| items(ops, gap)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_shape() {
+        let t = ping_pong(10, 50);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].len(), 10);
+        assert!(t[0].iter().all(|i| matches!(i.op, CpuOp::Rmw(_))));
+        assert_eq!(t[0], t[1]);
+    }
+
+    #[test]
+    fn private_streams_are_disjoint() {
+        let t = private_streams(4, 8, 2, 10);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].len(), 16);
+        let b0 = t[0][0].op.block();
+        assert!(t[1].iter().all(|i| i.op.block() != b0));
+    }
+
+    #[test]
+    fn single_writer_many_readers_shape() {
+        let t = single_writer_many_readers(4, 8, 10);
+        assert_eq!(t.len(), 4);
+        assert!(t[0].iter().all(|i| matches!(i.op, CpuOp::Store(_))));
+        assert_eq!(t[1].len(), 16, "two read passes");
+        assert!(t[1].iter().all(|i| matches!(i.op, CpuOp::Load(_))));
+    }
+
+    #[test]
+    fn lock_storm_acquires_and_releases() {
+        let t = lock_storm(2, 3, 2, 10);
+        let ops = &t[0];
+        assert_eq!(ops.len(), 3 * 4);
+        assert!(matches!(ops[0].op, CpuOp::Rmw(b) if b == Block(0xC000)));
+        assert!(matches!(ops[3].op, CpuOp::Store(b) if b == Block(0xC000)));
+    }
+
+    #[test]
+    fn scripted_wraps_ops() {
+        let t = scripted(vec![vec![CpuOp::Load(Block(1))]], 5);
+        assert_eq!(t[0][0], TraceItem { gap_instructions: 5, op: CpuOp::Load(Block(1)) });
+    }
+}

@@ -1,0 +1,412 @@
+//! Workload specifications and the per-CPU reference-stream generator.
+//!
+//! The paper drives its memory-system simulator with Simics running real
+//! commercial applications (Table 1). Without a full-system simulator, this
+//! crate substitutes *behaviour-calibrated synthetic streams*: each
+//! workload is a mix of the sharing patterns that produce the Table 3 miss
+//! profile — private data, shared read-only data, migratory records,
+//! producer/consumer buffers and contended locks. The Table 3 calibration
+//! (footprint, miss count, % cache-to-cache) is asserted by integration
+//! tests in the system crate.
+
+use tss_proto::{Block, CpuOp};
+use tss_sim::rng::SimRng;
+
+/// Relative frequencies of the five reference classes.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassWeights {
+    /// CPU-private working set (mostly hits).
+    pub private: f64,
+    /// Shared read-only data (indices, code; hits after warm-up).
+    pub shared_ro: f64,
+    /// Migratory records: read-modify-write by one CPU at a time — the
+    /// classic source of cache-to-cache transfers.
+    pub migratory: f64,
+    /// Producer/consumer ring buffers (M→S transfers on consume).
+    pub prodcons: f64,
+    /// Lock acquire/release sequences (test-and-set + critical section).
+    pub lock: f64,
+}
+
+impl ClassWeights {
+    fn cumulative(&self) -> [f64; 5] {
+        let mut c = [
+            self.private,
+            self.shared_ro,
+            self.migratory,
+            self.prodcons,
+            self.lock,
+        ];
+        for i in 1..5 {
+            c[i] += c[i - 1];
+        }
+        c
+    }
+}
+
+/// A fully parameterised synthetic workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Human-readable name (Table 1 benchmark it stands in for).
+    pub name: String,
+    /// Memory references issued by each CPU.
+    pub ops_per_cpu: u64,
+    /// Mean instructions of compute between references (geometric).
+    pub mean_gap: u64,
+    /// Private blocks per CPU.
+    pub private_blocks_per_cpu: u64,
+    /// Shared read-only blocks (global).
+    pub shared_ro_blocks: u64,
+    /// Migratory blocks (global pool).
+    pub migratory_blocks: u64,
+    /// Ring-buffer blocks per CPU (each CPU produces its own ring,
+    /// consumes the others').
+    pub prodcons_blocks_per_cpu: u64,
+    /// Lock blocks (global).
+    pub lock_blocks: u64,
+    /// Data blocks protected per lock (touched inside the critical
+    /// section).
+    pub lock_protected_blocks: u64,
+    /// Reference-class mix.
+    pub weights: ClassWeights,
+    /// Store fraction within the private class.
+    pub private_write_fraction: f64,
+    /// Fraction of private references going to the hot subset (temporal
+    /// locality).
+    pub private_hot_fraction: f64,
+    /// Critical-section length (references between acquire and release).
+    pub critical_section_len: u64,
+}
+
+impl WorkloadSpec {
+    /// Total distinct blocks this workload can touch across `n` CPUs
+    /// (the Table 3 "total data touched" upper bound).
+    pub fn footprint_blocks(&self, n: usize) -> u64 {
+        let n = n as u64;
+        self.private_blocks_per_cpu * n
+            + self.shared_ro_blocks
+            + self.migratory_blocks
+            + self.prodcons_blocks_per_cpu * n
+            + self.lock_blocks * (1 + self.lock_protected_blocks)
+    }
+
+    /// Footprint in megabytes with 64-byte blocks.
+    pub fn footprint_mb(&self, n: usize) -> f64 {
+        self.footprint_blocks(n) as f64 * 64.0 / (1024.0 * 1024.0)
+    }
+
+    /// Builds the deterministic reference stream for one CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu >= n`.
+    pub fn stream(&self, cpu: usize, n: usize, seed: u64) -> CpuStream {
+        assert!(cpu < n, "cpu index out of range");
+        CpuStream {
+            layout: Layout::new(self, n),
+            spec: self.clone(),
+            cpu,
+            n,
+            rng: SimRng::from_seed_and_stream(seed, 0x10_000 + cpu as u64),
+            remaining: self.ops_per_cpu,
+            pending: Vec::new(),
+            cumulative: self.weights.cumulative(),
+        }
+    }
+}
+
+/// One generated reference: `gap` instructions of compute, then `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceItem {
+    /// Instructions executed since the previous reference (the CPU model
+    /// converts these to time at 4 instructions/ns).
+    pub gap_instructions: u64,
+    /// The memory operation.
+    pub op: CpuOp,
+}
+
+/// Address-space layout: contiguous block ranges per class. Block numbers
+/// interleave across home nodes naturally (home = block mod n).
+#[derive(Debug, Clone)]
+struct Layout {
+    private_base: u64,
+    private_per_cpu: u64,
+    shared_ro_base: u64,
+    shared_ro: u64,
+    migratory_base: u64,
+    migratory: u64,
+    prodcons_base: u64,
+    prodcons_per_cpu: u64,
+    locks_base: u64,
+    locks: u64,
+    lock_data_base: u64,
+    lock_protected: u64,
+}
+
+impl Layout {
+    fn new(spec: &WorkloadSpec, n: usize) -> Layout {
+        let n = n as u64;
+        let private_base = 0x1000;
+        let shared_ro_base = private_base + spec.private_blocks_per_cpu * n;
+        let migratory_base = shared_ro_base + spec.shared_ro_blocks;
+        let prodcons_base = migratory_base + spec.migratory_blocks;
+        let locks_base = prodcons_base + spec.prodcons_blocks_per_cpu * n;
+        let lock_data_base = locks_base + spec.lock_blocks;
+        Layout {
+            private_base,
+            private_per_cpu: spec.private_blocks_per_cpu,
+            shared_ro_base,
+            shared_ro: spec.shared_ro_blocks,
+            migratory_base,
+            migratory: spec.migratory_blocks,
+            prodcons_base,
+            prodcons_per_cpu: spec.prodcons_blocks_per_cpu,
+            locks_base,
+            locks: spec.lock_blocks,
+            lock_data_base,
+            lock_protected: spec.lock_protected_blocks,
+        }
+    }
+}
+
+/// The deterministic per-CPU reference stream (an [`Iterator`] of
+/// [`TraceItem`]s).
+///
+/// # Example
+///
+/// ```
+/// use tss_workloads::paper::oltp;
+///
+/// let spec = oltp(0.01);
+/// let mut stream = spec.stream(0, 16, 42);
+/// let first = stream.next().expect("non-empty stream");
+/// assert!(first.gap_instructions > 0);
+/// ```
+#[derive(Debug)]
+pub struct CpuStream {
+    spec: WorkloadSpec,
+    layout: Layout,
+    cpu: usize,
+    n: usize,
+    rng: SimRng,
+    remaining: u64,
+    /// Multi-op patterns queue here and drain one item per `next()`.
+    pending: Vec<CpuOp>,
+    cumulative: [f64; 5],
+}
+
+impl CpuStream {
+    fn gap(&mut self) -> u64 {
+        // Geometric-ish around the mean, never zero.
+        1 + self.rng.gen_range(0..self.spec.mean_gap.max(1) * 2)
+    }
+
+    fn private_block(&mut self) -> Block {
+        let base = self.layout.private_base + self.cpu as u64 * self.layout.private_per_cpu;
+        let range = self.layout.private_per_cpu.max(1);
+        // Hot subset: 1/8th of the range takes most references.
+        let hot = (range / 8).max(1);
+        let off = if self.rng.unit() < self.spec.private_hot_fraction {
+            self.rng.gen_range(0..hot)
+        } else {
+            self.rng.gen_range(0..range)
+        };
+        Block(base + off)
+    }
+
+    fn fill_pattern(&mut self) {
+        debug_assert!(self.pending.is_empty());
+        match self.rng.weighted_index(&self.cumulative) {
+            0 => {
+                let b = self.private_block();
+                if self.rng.unit() < self.spec.private_write_fraction {
+                    self.pending.push(CpuOp::Store(b));
+                } else {
+                    self.pending.push(CpuOp::Load(b));
+                }
+            }
+            1 => {
+                let off = self.rng.gen_range(0..self.layout.shared_ro.max(1));
+                self.pending.push(CpuOp::Load(Block(self.layout.shared_ro_base + off)));
+            }
+            2 => {
+                // Migratory record: atomic read-modify-write (DB row
+                // update) — a single GETM sourced by the previous owner.
+                let off = self.rng.gen_range(0..self.layout.migratory.max(1));
+                self.pending.push(CpuOp::Rmw(Block(self.layout.migratory_base + off)));
+            }
+            3 => {
+                // Produce into our own ring or consume another CPU's.
+                let per = self.layout.prodcons_per_cpu.max(1);
+                if self.rng.chance(0.5) {
+                    let off = self.rng.gen_range(0..per);
+                    let base = self.layout.prodcons_base + self.cpu as u64 * per;
+                    self.pending.push(CpuOp::Store(Block(base + off)));
+                } else {
+                    let mut other = self.rng.index(self.n);
+                    if other == self.cpu {
+                        other = (other + 1) % self.n;
+                    }
+                    let off = self.rng.gen_range(0..per);
+                    let base = self.layout.prodcons_base + other as u64 * per;
+                    self.pending.push(CpuOp::Load(Block(base + off)));
+                }
+            }
+            _ => {
+                // Lock acquire, critical section, release. Open-loop: the
+                // test-and-set migrates the lock line; contention shows up
+                // as coherence traffic rather than spinning.
+                let l = self.rng.gen_range(0..self.layout.locks.max(1));
+                let lock = Block(self.layout.locks_base + l);
+                self.pending.push(CpuOp::Rmw(lock));
+                let data_base = self.layout.lock_data_base + l * self.layout.lock_protected;
+                for _ in 0..self.spec.critical_section_len {
+                    let off = self.rng.gen_range(0..self.layout.lock_protected.max(1));
+                    let b = Block(data_base + off);
+                    if self.rng.chance(0.5) {
+                        self.pending.push(CpuOp::Store(b));
+                    } else {
+                        self.pending.push(CpuOp::Load(b));
+                    }
+                }
+                self.pending.push(CpuOp::Store(lock));
+                self.pending.reverse(); // drain in push order via pop()
+                return;
+            }
+        }
+        self.pending.reverse();
+    }
+}
+
+impl Iterator for CpuStream {
+    type Item = TraceItem;
+
+    fn next(&mut self) -> Option<TraceItem> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.pending.is_empty() {
+            self.fill_pattern();
+        }
+        let op = self.pending.pop().expect("pattern fills at least one op");
+        Some(TraceItem { gap_instructions: self.gap(), op })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test".into(),
+            ops_per_cpu: 1000,
+            mean_gap: 100,
+            private_blocks_per_cpu: 64,
+            shared_ro_blocks: 32,
+            migratory_blocks: 16,
+            prodcons_blocks_per_cpu: 4,
+            lock_blocks: 2,
+            lock_protected_blocks: 4,
+            weights: ClassWeights {
+                private: 0.5,
+                shared_ro: 0.2,
+                migratory: 0.15,
+                prodcons: 0.1,
+                lock: 0.05,
+            },
+            private_write_fraction: 0.3,
+            private_hot_fraction: 0.8,
+            critical_section_len: 3,
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let s = spec();
+        let a: Vec<TraceItem> = s.stream(3, 16, 7).collect();
+        let b: Vec<TraceItem> = s.stream(3, 16, 7).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn different_cpus_diverge() {
+        let s = spec();
+        let a: Vec<TraceItem> = s.stream(0, 16, 7).collect();
+        let b: Vec<TraceItem> = s.stream(1, 16, 7).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let s = spec();
+        let a: Vec<TraceItem> = s.stream(0, 16, 7).collect();
+        let b: Vec<TraceItem> = s.stream(0, 16, 8).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn blocks_stay_within_footprint_ranges() {
+        let s = spec();
+        let total = s.footprint_blocks(16);
+        for item in s.stream(5, 16, 1) {
+            let b = item.op.block().0;
+            assert!(b >= 0x1000, "below layout base");
+            assert!(b < 0x1000 + total, "beyond footprint: {b:#x}");
+            assert!(item.gap_instructions >= 1);
+        }
+    }
+
+    #[test]
+    fn private_blocks_do_not_collide_across_cpus() {
+        let s = spec();
+        // Force all references into the private class.
+        let mut s2 = s.clone();
+        s2.weights = ClassWeights {
+            private: 1.0,
+            shared_ro: 0.0,
+            migratory: 0.0,
+            prodcons: 0.0,
+            lock: 0.0,
+        };
+        use std::collections::HashSet;
+        let a: HashSet<u64> = s2.stream(0, 4, 1).map(|i| i.op.block().0).collect();
+        let b: HashSet<u64> = s2.stream(1, 4, 1).map(|i| i.op.block().0).collect();
+        assert!(a.is_disjoint(&b), "private ranges overlap");
+    }
+
+    #[test]
+    fn lock_pattern_is_acquire_body_release() {
+        let mut s = spec();
+        s.weights = ClassWeights {
+            private: 0.0,
+            shared_ro: 0.0,
+            migratory: 0.0,
+            prodcons: 0.0,
+            lock: 1.0,
+        };
+        let items: Vec<TraceItem> = s.stream(0, 4, 1).take(5).collect();
+        // Acquire (Rmw on a lock block)...
+        assert!(matches!(items[0].op, CpuOp::Rmw(_)));
+        let lock_block = items[0].op.block();
+        // ...three critical-section references...
+        for item in &items[1..4] {
+            assert_ne!(item.op.block(), lock_block);
+        }
+        // ...then the release store to the same lock.
+        assert_eq!(items[4].op, CpuOp::Store(lock_block));
+    }
+
+    #[test]
+    fn footprint_accounts_every_class() {
+        let s = spec();
+        let n = 16u64;
+        assert_eq!(
+            s.footprint_blocks(16),
+            64 * n + 32 + 16 + 4 * n + 2 * (1 + 4)
+        );
+        assert!(s.footprint_mb(16) > 0.0);
+    }
+}

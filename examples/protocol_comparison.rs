@@ -1,0 +1,59 @@
+//! The paper's headline experiment in miniature: TS-Snoop vs DirClassic
+//! vs DirOpt on one workload and both topologies, with the runtime and
+//! bandwidth trade-off printed side by side (Figures 3 and 4).
+//!
+//! ```sh
+//! cargo run --release -p tss-examples --bin protocol_comparison [-- dss|oltp|apache|altavista|barnes]
+//! ```
+
+use tss::methodology::min_over_perturbations;
+use tss::{ProtocolKind, SystemConfig, TopologyKind};
+use tss_workloads::paper;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "oltp".into());
+    let scale = 0.01;
+    let spec = match which.as_str() {
+        "oltp" => paper::oltp(scale),
+        "dss" => paper::dss(scale),
+        "apache" => paper::apache(scale),
+        "altavista" => paper::altavista(scale),
+        "barnes" => paper::barnes(scale),
+        other => panic!("unknown workload {other}"),
+    };
+    println!(
+        "{} at {:.0}% scale, min of 3 perturbed runs (paper §4.3 methodology)\n",
+        spec.name,
+        scale * 100.0
+    );
+    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+        println!("[{}]", topology.label());
+        println!(
+            "{:<12} {:>12} {:>10} {:>14} {:>10} {:>8}",
+            "protocol", "runtime", "vs TS", "link-bytes", "vs TS", "nacks"
+        );
+        let mut base: Option<(u64, u64)> = None;
+        for protocol in ProtocolKind::ALL {
+            let mut cfg = SystemConfig::paper_default(protocol, topology);
+            cfg.perturbation_ns = 4;
+            let stats = min_over_perturbations(&cfg, &spec, 3);
+            let (rt, bytes) = (stats.runtime.as_ns(), stats.traffic.total());
+            let (rt0, by0) = *base.get_or_insert((rt, bytes));
+            println!(
+                "{:<12} {:>10}ns {:>9.2}x {:>14} {:>9.2}x {:>8}",
+                protocol.to_string(),
+                rt,
+                rt as f64 / rt0 as f64,
+                bytes,
+                bytes as f64 / by0 as f64,
+                stats.protocol.nacks
+            );
+        }
+        println!();
+    }
+    println!(
+        "The classic latency/bandwidth trade-off (§7): timestamp snooping is\n\
+         faster wherever cache-to-cache transfers matter, and pays for it in\n\
+         broadcast bandwidth."
+    );
+}

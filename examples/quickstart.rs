@@ -1,0 +1,43 @@
+//! Quickstart: build a 16-processor timestamp-snooping system, run a small
+//! OLTP-like workload, and print what the paper's evaluation measures.
+//!
+//! ```sh
+//! cargo run --release -p tss-examples --bin quickstart
+//! ```
+
+use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss_workloads::paper;
+
+fn main() {
+    // The paper's target system (§4.2): 16 SPARC-class nodes, 4 MB 4-way
+    // L2s, Table 2 timing, four radix-4 butterflies for the address and
+    // data networks.
+    let mut cfg = SystemConfig::paper_default(ProtocolKind::TsSnoop, TopologyKind::Butterfly16);
+    cfg.verify = true; // run the coherence checker too
+
+    // A 1%-scale OLTP stand-in (Table 1): 16 concurrent transaction
+    // streams with migratory records, shared indices and lock handoffs.
+    let workload = paper::oltp(0.01);
+    println!("workload : {} ({} refs/cpu)", workload.name, workload.ops_per_cpu);
+
+    let result = System::run_workload(cfg, &workload);
+    let s = &result.stats;
+
+    println!("runtime  : {}", s.runtime);
+    println!(
+        "misses   : {} ({:.0}% cache-to-cache — the transfers snooping wins on)",
+        s.protocol.misses,
+        100.0 * s.c2c_fraction()
+    );
+    println!(
+        "traffic  : {} total link-bytes ({} data, {} address broadcast)",
+        s.traffic.total(),
+        s.traffic.data_bytes,
+        s.traffic.request_bytes
+    );
+    println!(
+        "latency  : {:.0} ns mean miss (Table 2: 123 ns cache-to-cache, 178 ns memory)",
+        s.miss_latency.mean_ns().unwrap_or(0.0)
+    );
+    println!("verified : single-writer/lost-update invariants held");
+}

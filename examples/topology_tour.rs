@@ -1,0 +1,96 @@
+//! A tour of the two evaluated fabrics (Figure 2): structure, broadcast
+//! trees, ΔD tables and the Table 2 latencies they imply — then a scaling
+//! sweep beyond the paper's 16 nodes.
+//!
+//! ```sh
+//! cargo run -p tss-examples --bin topology_tour
+//! ```
+
+use tss::analytic::{bandwidth_bound, unloaded_latencies};
+use tss::Timing;
+use tss_net::{Fabric, NodeId, Vertex};
+
+fn describe(name: &str, fabric: &Fabric) {
+    let timing = Timing::default();
+    let lat = unloaded_latencies(fabric, &timing);
+    let bw = bandwidth_bound(fabric, 64);
+    let tree = fabric.tree(0, NodeId(0));
+    println!("== {name} ==");
+    println!(
+        "  nodes {}, switches {}, planes {}, weighted links {}",
+        fabric.num_nodes(),
+        fabric.num_switches(),
+        fabric.planes(),
+        fabric.weighted_link_count()
+    );
+    println!(
+        "  broadcast from n0: {} links, depth {} ({} ns one-way max)",
+        tree.weighted_link_count,
+        tree.max_depth_weighted,
+        lat.one_way_max
+    );
+    let unbalanced = tree.edges.iter().filter(|e| e.delta_d > 0).count();
+    println!(
+        "  ΔD: {} of {} tree branches are shorter than the longest (slack rule 3)",
+        unbalanced,
+        tree.edges.len()
+    );
+    println!(
+        "  Table 2: memory {:.0} ns | snoop c2c {:.0} ns | directory 3-hop {:.0} ns",
+        lat.from_memory, lat.c2c_snooping, lat.c2c_directory
+    );
+    println!(
+        "  §5 bound: snooping {:.0} B/miss vs directory {:.0} B/miss (+{:.0}%)\n",
+        bw.snooping_bytes,
+        bw.directory_bytes,
+        100.0 * bw.extra_fraction()
+    );
+}
+
+fn ascii_torus() {
+    println!("4x4 bidirectional torus (Figure 2, right; wraparound links not drawn):");
+    for y in 0..4 {
+        println!("   P{:<2}--P{:<2}--P{:<2}--P{:<2}", 4 * y, 4 * y + 1, 4 * y + 2, 4 * y + 3);
+        if y < 3 {
+            println!("   |     |     |     |");
+        }
+    }
+    println!();
+}
+
+fn ascii_butterfly() {
+    println!("One of four radix-4 butterflies (Figure 2, left):");
+    println!("   P0..P3   P4..P7   P8..P11  P12..P15");
+    println!("     \\        |        |        /");
+    println!("     [S0]    [S1]     [S2]    [S3]     stage 0");
+    println!("       \\    x    cross    x    /");
+    println!("     [S4]    [S5]     [S6]    [S7]     stage 1");
+    println!("     /        |        |        \\");
+    println!("   P0..P3   P4..P7   P8..P11  P12..P15\n");
+}
+
+fn main() {
+    ascii_butterfly();
+    describe("4x radix-4 butterfly, 16 nodes (paper)", &Fabric::butterfly16());
+    ascii_torus();
+    describe("4x4 torus, 16 nodes (paper)", &Fabric::torus4x4());
+
+    println!("-- scaling beyond the paper --\n");
+    describe("radix-4 butterfly, 64 nodes", &Fabric::butterfly(4, 3, 4));
+    describe("8x8 torus, 64 nodes", &Fabric::torus(8, 8));
+
+    // Show a concrete ΔD table entry: the torus tree is unbalanced.
+    let torus = Fabric::torus4x4();
+    let tree = torus.tree(0, NodeId(5));
+    println!("broadcast tree from n5 on the torus (per-branch ΔD):");
+    for v in 0..(torus.num_nodes() + torus.num_switches()) {
+        let branches = tree.branches_from(Vertex(v as u32));
+        if !branches.is_empty() {
+            let dds: Vec<u32> = branches
+                .iter()
+                .map(|&i| tree.edges[i as usize].delta_d)
+                .collect();
+            println!("  vertex v{v}: {} branches, ΔD = {dds:?}", branches.len());
+        }
+    }
+}

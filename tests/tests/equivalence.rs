@@ -1,0 +1,188 @@
+//! Fast-model vs detailed-token-network equivalence.
+//!
+//! The benchmark runs use the closed-form [`FastOrderedNet`]; its claim to
+//! correctness is that, unloaded, the literal token-passing network of
+//! §2.2 produces the *same total order* at the *same instants*. The
+//! detailed model's conservative batch rule (an endpoint closes ordering
+//! tick X only when the token advancing past X arrives) adds exactly one
+//! tick relative to the fast model's just-in-time processing.
+
+use std::sync::Arc;
+
+use tss_net::{
+    DetailedNet, DetailedNetConfig, Fabric, FastOrderedNet, NodeId, OrderedNetTiming,
+};
+use tss_sim::rng::SimRng;
+use tss_sim::{Duration, Time};
+
+/// Runs the same injection schedule through both models and returns
+/// per-endpoint (payload, processed_at) sequences.
+fn run_both(
+    fabric: Fabric,
+    link_ns: u64,
+    slack: u64,
+    injections: &[(u64, u16, u32)],
+) -> (Vec<Vec<(u32, u64)>>, Vec<Vec<(u32, u64)>>) {
+    let n = fabric.num_nodes();
+    let fabric = Arc::new(fabric);
+
+    let mut fast = FastOrderedNet::new(
+        Arc::clone(&fabric),
+        OrderedNetTiming::uniform(Duration::from_ns(link_ns), slack),
+    );
+    let mut fast_out: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    let mut deadlines = Vec::new();
+    for &(t, src, payload) in injections {
+        deadlines.push(fast.inject(Time::from_ns(t), NodeId(src), payload));
+    }
+    let last = deadlines.iter().max().copied().unwrap_or(Time::ZERO);
+    for d in fast.drain(last) {
+        fast_out[d.dest.index()].push((*d.payload, d.ordered_at.as_ns()));
+    }
+
+    let mut detailed: DetailedNet<u32> = DetailedNet::new(
+        Arc::clone(&fabric),
+        DetailedNetConfig {
+            link_latency: Duration::from_ns(link_ns),
+            link_occupancy: Duration::ZERO,
+            initial_slack: slack,
+            plane: 0,
+        },
+    );
+    for &(t, src, payload) in injections {
+        detailed.inject(Time::from_ns(t), NodeId(src), payload);
+    }
+    detailed.run_until(last + Duration::from_ns(20 * link_ns));
+    let mut det_out: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    for d in detailed.take_deliveries() {
+        det_out[d.dest.index()].push((*d.payload, d.processed_at.as_ns()));
+    }
+    (fast_out, det_out)
+}
+
+fn schedule(seed: u64, n: usize, count: usize) -> Vec<(u64, u16, u32)> {
+    let mut rng = SimRng::from_seed_and_stream(seed, 99);
+    let mut t = 10;
+    (0..count)
+        .map(|i| {
+            t += rng.gen_range(0..60);
+            (t, rng.index(n) as u16, i as u32)
+        })
+        .collect()
+}
+
+fn check_equivalence(fabric: impl Fn() -> Fabric, slack: u64, seed: u64) {
+    let injections = schedule(seed, fabric().num_nodes(), 40);
+    let (fast, detailed) = run_both(fabric(), 15, slack, &injections);
+    for (node, (f, d)) in fast.iter().zip(&detailed).enumerate() {
+        assert_eq!(f.len(), d.len(), "endpoint {node} delivery count");
+        for (i, ((fp, ft), (dp, dt))) in f.iter().zip(d).enumerate() {
+            assert_eq!(fp, dp, "endpoint {node} order diverges at {i}");
+            assert_eq!(
+                ft + 15,
+                *dt,
+                "endpoint {node} instant diverges at {i} \
+                 (detailed = fast + one conservative tick)"
+            );
+        }
+    }
+}
+
+#[test]
+fn butterfly_single_plane_equivalence() {
+    for seed in 0..5 {
+        check_equivalence(|| Fabric::butterfly(4, 2, 1), 1, seed);
+    }
+}
+
+#[test]
+fn torus_equivalence() {
+    for seed in 0..5 {
+        check_equivalence(Fabric::torus4x4, 1, seed);
+    }
+}
+
+#[test]
+fn equivalence_holds_with_larger_slack() {
+    check_equivalence(Fabric::torus4x4, 4, 11);
+    check_equivalence(|| Fabric::butterfly(4, 2, 1), 7, 12);
+}
+
+#[test]
+fn small_torus_equivalence() {
+    check_equivalence(|| Fabric::torus(2, 2), 2, 3);
+    check_equivalence(|| Fabric::torus(4, 2), 2, 4);
+}
+
+#[test]
+fn detailed_net_survives_contention_where_fast_cannot_model_it() {
+    // Not an equivalence test: under link contention the fast model does
+    // not apply; the detailed one must still deliver everything in a
+    // consistent order (asserted internally) and stall GTs.
+    let fabric = Arc::new(Fabric::torus4x4());
+    let mut net: DetailedNet<u32> = DetailedNet::new(
+        Arc::clone(&fabric),
+        DetailedNetConfig {
+            link_latency: Duration::from_ns(15),
+            link_occupancy: Duration::from_ns(30),
+            initial_slack: 1,
+            plane: 0,
+        },
+    );
+    let injections = schedule(7, 16, 60);
+    for &(t, src, payload) in &injections {
+        net.inject(Time::from_ns(t), NodeId(src), payload);
+    }
+    net.run_until(Time::from_ns(100_000));
+    let deliveries = net.take_deliveries();
+    assert_eq!(deliveries.len(), 60 * 16);
+    let mut orders: Vec<Vec<u32>> = vec![Vec::new(); 16];
+    for d in &deliveries {
+        orders[d.dest.index()].push(*d.payload);
+    }
+    for o in &orders[1..] {
+        assert_eq!(o, &orders[0]);
+    }
+}
+
+#[test]
+fn multi_plane_butterfly_matches_single_plane_order() {
+    // The four-plane butterfly (round-robin injection + min-GT merge)
+    // must produce the same per-endpoint total order as running the same
+    // schedule through one plane.
+    use tss_net::MultiPlaneNet;
+    let injections = schedule(21, 16, 30);
+
+    let mut multi: MultiPlaneNet<u32> = MultiPlaneNet::new(
+        Arc::new(Fabric::butterfly16()),
+        DetailedNetConfig::default(),
+    );
+    for &(t, src, payload) in &injections {
+        multi.inject(Time::from_ns(t), NodeId(src), payload);
+    }
+    multi.run_until(Time::from_ns(20_000));
+    let mut multi_orders: Vec<Vec<u32>> = vec![Vec::new(); 16];
+    for d in multi.take_deliveries() {
+        multi_orders[d.dest.index()].push(*d.payload);
+    }
+
+    let mut single: DetailedNet<u32> = DetailedNet::new(
+        Arc::new(Fabric::butterfly16()),
+        DetailedNetConfig::default(),
+    );
+    for &(t, src, payload) in &injections {
+        single.inject(Time::from_ns(t), NodeId(src), payload);
+    }
+    single.run_until(Time::from_ns(20_000));
+    let mut single_orders: Vec<Vec<u32>> = vec![Vec::new(); 16];
+    for d in single.take_deliveries() {
+        single_orders[d.dest.index()].push(*d.payload);
+    }
+
+    // Both must be internally consistent; when all planes tick in
+    // lock step the orders coincide across the two configurations too.
+    for o in &multi_orders[1..] {
+        assert_eq!(o, &multi_orders[0]);
+    }
+    assert_eq!(multi_orders[0], single_orders[0]);
+}

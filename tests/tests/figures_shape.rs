@@ -1,0 +1,140 @@
+//! End-to-end shape checks on the paper's headline results, at a reduced
+//! scale (the full-scale numbers come from the `tss-bench` binaries):
+//!
+//! * Figure 3: TS-Snoop is the fastest protocol on every workload and
+//!   topology; DirOpt beats DirClassic; DSS is DirClassic's worst case.
+//! * Figure 4: TS-Snoop uses the most link bandwidth; only DirClassic
+//!   produces nack traffic; TS-Snoop's extra stays under the §5 bound.
+//! * Table 3: the synthetic workloads land near their calibrated
+//!   cache-to-cache fractions.
+
+use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss_bench::Cell;
+use tss_workloads::paper;
+
+const SCALE: f64 = 1.0 / 400.0;
+
+fn run(spec_idx: usize, topology: TopologyKind, protocol: ProtocolKind) -> Cell {
+    let spec = &paper::all(SCALE)[spec_idx];
+    let mut cfg = SystemConfig::paper_default(protocol, topology);
+    cfg.seed = 1;
+    let stats = System::run_workload(cfg, spec).stats;
+    Cell::from_stats(&spec.name, topology, protocol, &stats)
+}
+
+#[test]
+fn figure3_shape_ts_snoop_wins_everywhere() {
+    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+        for w in 0..5 {
+            let ts = run(w, topology, ProtocolKind::TsSnoop);
+            let dc = run(w, topology, ProtocolKind::DirClassic);
+            let dopt = run(w, topology, ProtocolKind::DirOpt);
+            assert!(
+                ts.runtime_ns < dc.runtime_ns,
+                "{} {}: TS {} !< DirClassic {}",
+                ts.workload,
+                ts.topology,
+                ts.runtime_ns,
+                dc.runtime_ns
+            );
+            assert!(
+                ts.runtime_ns < dopt.runtime_ns,
+                "{} {}: TS !< DirOpt",
+                ts.workload,
+                ts.topology
+            );
+            assert!(
+                dopt.runtime_ns <= dc.runtime_ns,
+                "{} {}: DirOpt should not lose to DirClassic",
+                ts.workload,
+                ts.topology
+            );
+        }
+    }
+}
+
+#[test]
+fn figure3_dss_is_dirclassics_pathology() {
+    let topology = TopologyKind::Butterfly16;
+    let mut ratios = Vec::new();
+    for w in 0..5 {
+        let ts = run(w, topology, ProtocolKind::TsSnoop);
+        let dc = run(w, topology, ProtocolKind::DirClassic);
+        ratios.push((ts.workload.clone(), dc.runtime_ns as f64 / ts.runtime_ns as f64));
+    }
+    let dss = ratios.iter().find(|(w, _)| w == "DSS").unwrap().1;
+    for (w, r) in &ratios {
+        if w != "DSS" {
+            assert!(
+                dss > *r,
+                "DSS ({dss:.2}x) should be DirClassic's worst case, but {w} is {r:.2}x"
+            );
+        }
+    }
+    // And the nack storm is the reason.
+    let dc_dss = run(1, topology, ProtocolKind::DirClassic);
+    assert!(dc_dss.nacks > 0, "DSS under DirClassic must nack");
+}
+
+#[test]
+fn figure4_shape_bandwidth_ordering_and_classes() {
+    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+        for w in 0..5 {
+            let ts = run(w, topology, ProtocolKind::TsSnoop);
+            let dc = run(w, topology, ProtocolKind::DirClassic);
+            let dopt = run(w, topology, ProtocolKind::DirOpt);
+            // Snooping buys latency with bandwidth (§7).
+            assert!(ts.total_bytes() > dc.total_bytes());
+            assert!(ts.total_bytes() > dopt.total_bytes());
+            // ...but never beyond the §5 back-of-the-envelope bound.
+            let bound = 1.0
+                + tss::analytic::bandwidth_bound(&topology.build(), 64).extra_fraction();
+            let worst = ts.total_bytes() as f64 / dopt.total_bytes() as f64;
+            assert!(
+                worst < bound + 0.05,
+                "{} {}: measured extra {worst:.2} exceeds bound {bound:.2}",
+                ts.workload,
+                topology.label()
+            );
+            // Class decomposition: snooping has no nack/misc traffic.
+            assert_eq!(ts.nack_bytes, 0);
+            assert_eq!(ts.misc_bytes, 0);
+            assert_eq!(dopt.nack_bytes, 0, "DirOpt never nacks");
+            assert!(dc.misc_bytes > 0, "directories pay overhead messages");
+        }
+    }
+}
+
+#[test]
+fn table3_c2c_fractions_in_band() {
+    // Scaled-down runs drift a little from the 1/64-scale calibration;
+    // allow +-12 points around the paper's column 4.
+    let targets: [f64; 5] = [43.0, 60.0, 40.0, 40.0, 43.0];
+    for (w, target) in (0..5).zip(targets) {
+        let cell = run(w, TopologyKind::Butterfly16, ProtocolKind::TsSnoop);
+        let got = 100.0 * cell.c2c_fraction();
+        assert!(
+            (got - target).abs() < 12.0,
+            "{}: 3-hop fraction {got:.0}% vs paper {target}%",
+            cell.workload
+        );
+    }
+}
+
+#[test]
+fn over_one_third_of_misses_are_cache_to_cache() {
+    // The abstract's motivating observation: "over one-third of cache
+    // misses by these applications result in cache-to-cache transfers."
+    let mut total = 0u64;
+    let mut c2c = 0u64;
+    for w in 0..5 {
+        let cell = run(w, TopologyKind::Butterfly16, ProtocolKind::TsSnoop);
+        total += cell.misses;
+        c2c += cell.cache_to_cache;
+    }
+    assert!(
+        c2c as f64 / total as f64 > 1.0 / 3.0,
+        "aggregate c2c fraction {:.2}",
+        c2c as f64 / total as f64
+    );
+}

