@@ -1,43 +1,48 @@
-//! Criterion bench for Figure 3: one full (workload × protocol) runtime
-//! comparison per topology at a reduced scale. The *simulated* runtimes —
-//! the figure itself — are printed at the end; criterion tracks the host
-//! cost of regenerating each bar.
+//! Host cost of regenerating Figure 3 cells at a reduced scale, plus the
+//! simulated normalized runtimes themselves (the figure). Uses the
+//! workspace harness (`tss_bench::harness`) — the offline build has no
+//! criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss::{ProtocolKind, System, TopologyKind};
+use tss_bench::harness::Runner;
 use tss_workloads::paper;
 
 const SCALE: f64 = 1.0 / 400.0;
 
 fn run(workload: usize, protocol: ProtocolKind, topology: TopologyKind) -> u64 {
-    let spec = &paper::all(SCALE)[workload];
-    let mut cfg = SystemConfig::paper_default(protocol, topology);
-    cfg.seed = 1;
-    System::run_workload(cfg, spec).stats.runtime.as_ns()
+    let spec = paper::all(SCALE).swap_remove(workload);
+    System::builder()
+        .protocol(protocol)
+        .topology(topology)
+        .workload(spec)
+        .seed(1)
+        .build()
+        .expect("valid config")
+        .run()
+        .stats
+        .runtime
+        .as_ns()
 }
 
-fn bench_fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figure3_cells");
-    g.sample_size(10);
+fn main() {
+    let runner = Runner::from_args();
+    println!("figure3 cells: host cost per cell at scale {SCALE}\n");
     // One representative workload per group to keep bench time sane;
     // the fig3 binary runs the full grid.
     for (w, name) in [(0usize, "OLTP"), (1, "DSS")] {
         for protocol in ProtocolKind::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(name, protocol),
-                &(w, protocol),
-                |bench, &(w, p)| {
-                    bench.iter(|| {
-                        std::hint::black_box(run(w, p, TopologyKind::Butterfly16))
-                    });
-                },
-            );
+            runner.bench(&format!("fig3_cell/{name}/{protocol}"), 3, || {
+                std::hint::black_box(run(w, protocol, TopologyKind::Butterfly16))
+            });
         }
     }
-    g.finish();
 
     eprintln!("\nsimulated normalized runtimes (butterfly, scale {SCALE}):");
-    for (w, name) in paper::all(SCALE).iter().enumerate().map(|(i, s)| (i, s.name.clone())) {
+    for (w, name) in paper::all(SCALE)
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, s.name.clone()))
+    {
         let ts = run(w, ProtocolKind::TsSnoop, TopologyKind::Butterfly16) as f64;
         let dc = run(w, ProtocolKind::DirClassic, TopologyKind::Butterfly16) as f64;
         let dopt = run(w, ProtocolKind::DirOpt, TopologyKind::Butterfly16) as f64;
@@ -48,6 +53,3 @@ fn bench_fig3(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

@@ -1,41 +1,40 @@
-//! Criterion bench for Table 2: the latency of a single cache-to-cache
-//! miss under each protocol and topology (the quantity the paper's Table 2
-//! tabulates and §5 credits for the runtime wins).
+//! Host cost of simulating one cache-to-cache miss end to end under each
+//! protocol and topology — plus the simulated latencies themselves (the
+//! quantity the paper's Table 2 tabulates). Uses the workspace harness
+//! (`tss_bench::harness`) — the offline build has no criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
-use tss_proto::{Block, CpuOp};
-use tss_workloads::TraceItem;
+use tss::{ProtocolKind, System, TopologyKind};
+use tss_bench::harness::Runner;
+use tss_proto::Block;
+use tss_workloads::micro;
 
 fn c2c_once(protocol: ProtocolKind, topology: TopologyKind) -> u64 {
-    let b = Block(5);
-    let mut traces = vec![Vec::new(); 16];
-    traces[1].push(TraceItem { gap_instructions: 4, op: CpuOp::Store(b) });
-    traces[9].push(TraceItem { gap_instructions: 40_000, op: CpuOp::Load(b) });
-    let cfg = SystemConfig::paper_default(protocol, topology);
-    let r = System::run_traces(cfg, traces);
+    let traces = micro::single_miss_pair(1, 9, Block(5), 16);
+    let r = System::builder()
+        .protocol(protocol)
+        .topology(topology)
+        .traces(traces)
+        .build()
+        .expect("valid config")
+        .run();
     r.stats.miss_latency_per_node[9].max().unwrap().as_ns()
 }
 
-fn bench_c2c(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_c2c_miss");
-    g.sample_size(20);
-    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+fn main() {
+    let runner = Runner::from_args().samples(20);
+    println!("table2 c2c miss: host cost of simulating one miss end to end\n");
+    for topology in TopologyKind::PAPER {
         for protocol in ProtocolKind::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(topology.label(), protocol),
-                &(protocol, topology),
-                |bench, &(p, t)| {
-                    // Report the simulated latency once; benchmark the
-                    // host cost of simulating one miss end to end.
-                    bench.iter(|| std::hint::black_box(c2c_once(p, t)));
-                },
+            runner.bench(
+                &format!("c2c_miss/{}/{protocol}", topology.label()),
+                20,
+                || std::hint::black_box(c2c_once(protocol, topology)),
             );
         }
     }
-    g.finish();
     // Print the simulated latencies alongside (the actual Table 2 values).
-    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+    println!();
+    for topology in TopologyKind::PAPER {
         for protocol in ProtocolKind::ALL {
             eprintln!(
                 "simulated c2c latency [{} / {}]: {} ns",
@@ -46,6 +45,3 @@ fn bench_c2c(c: &mut Criterion) {
         }
     }
 }
-
-criterion_group!(benches, bench_c2c);
-criterion_main!(benches);

@@ -1,60 +1,39 @@
-//! Criterion benches for the network substrates themselves: how fast the
-//! host simulates the fast ordered network, the detailed token network,
-//! and fabric construction.
+//! Host cost of the network substrates themselves: the fast ordered
+//! network, the detailed token network, and fabric construction. Uses the
+//! workspace harness (`tss_bench::harness`) — the offline build has no
+//! criterion.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use tss_net::{
-    DetailedNet, DetailedNetConfig, Fabric, FastOrderedNet, NodeId, OrderedNetTiming,
-};
+use tss_bench::harness::Runner;
+use tss_net::{DetailedNet, DetailedNetConfig, Fabric, FastOrderedNet, NodeId, OrderedNetTiming};
 use tss_sim::Time;
 
-fn bench_fast_net(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fast_ordered_net");
-    g.throughput(Throughput::Elements(1000));
-    g.bench_function("inject_drain_1000_broadcasts", |b| {
-        b.iter(|| {
-            let fabric = Arc::new(Fabric::butterfly16());
-            let mut net = FastOrderedNet::new(fabric, OrderedNetTiming::paper_default());
-            let mut last = Time::ZERO;
-            for i in 0..1000u64 {
-                last = net.inject(Time::from_ns(i * 3), NodeId((i % 16) as u16), i);
-            }
-            std::hint::black_box(net.drain(last).len())
-        });
+fn main() {
+    let runner = Runner::from_args();
+    println!("network substrates: host cost per operation batch\n");
+    runner.bench("fast_net/inject_drain_1000_broadcasts", 10, || {
+        let fabric = Arc::new(Fabric::butterfly16());
+        let mut net = FastOrderedNet::new(fabric, OrderedNetTiming::paper_default());
+        let mut last = Time::ZERO;
+        for i in 0..1000u64 {
+            last = net.inject(Time::from_ns(i * 3), NodeId((i % 16) as u16), i);
+        }
+        std::hint::black_box(net.drain(last).len())
     });
-    g.finish();
+    runner.bench("detailed_net/torus_50_broadcasts", 10, || {
+        let fabric = Arc::new(Fabric::torus4x4());
+        let mut net: DetailedNet<u64> = DetailedNet::new(fabric, DetailedNetConfig::default());
+        for i in 0..50u64 {
+            net.inject(Time::from_ns(40 + i * 11), NodeId((i % 16) as u16), i);
+        }
+        net.run_until(Time::from_ns(2_000));
+        std::hint::black_box(net.take_deliveries().len())
+    });
+    runner.bench("fabric/butterfly16_with_trees", 100, || {
+        std::hint::black_box(Fabric::butterfly16().num_switches())
+    });
+    runner.bench("fabric/torus8x8_with_trees", 100, || {
+        std::hint::black_box(Fabric::torus(8, 8).num_switches())
+    });
 }
-
-fn bench_detailed_net(c: &mut Criterion) {
-    let mut g = c.benchmark_group("detailed_token_net");
-    g.throughput(Throughput::Elements(50));
-    g.bench_function("torus_50_broadcasts", |b| {
-        b.iter(|| {
-            let fabric = Arc::new(Fabric::torus4x4());
-            let mut net: DetailedNet<u64> =
-                DetailedNet::new(fabric, DetailedNetConfig::default());
-            for i in 0..50u64 {
-                net.inject(Time::from_ns(40 + i * 11), NodeId((i % 16) as u16), i);
-            }
-            net.run_until(Time::from_ns(2_000));
-            std::hint::black_box(net.take_deliveries().len())
-        });
-    });
-    g.finish();
-}
-
-fn bench_fabric_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fabric_construction");
-    g.bench_function("butterfly16_with_trees", |b| {
-        b.iter(|| std::hint::black_box(Fabric::butterfly16().num_switches()));
-    });
-    g.bench_function("torus8x8_with_trees", |b| {
-        b.iter(|| std::hint::black_box(Fabric::torus(8, 8).num_switches()));
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_fast_net, bench_detailed_net, bench_fabric_build);
-criterion_main!(benches);

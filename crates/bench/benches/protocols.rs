@@ -1,47 +1,38 @@
-//! Criterion benches for the protocol engines: host-side throughput of
-//! simulating the ping-pong microbenchmark (all-miss, all-coherence) under
-//! each protocol.
+//! Host-side throughput of the protocol engines: simulating the ping-pong
+//! microbenchmark (all-miss, all-coherence) and a lock storm under each
+//! protocol. Uses the workspace harness (`tss_bench::harness`) — the
+//! offline build has no criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss::{ProtocolKind, System, TopologyKind};
+use tss_bench::harness::Runner;
 use tss_workloads::micro;
 
-fn bench_ping_pong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol_ping_pong");
-    g.throughput(Throughput::Elements(400));
+fn main() {
+    let runner = Runner::from_args();
+    println!("protocol engines: host cost per simulated run\n");
     for protocol in ProtocolKind::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(protocol),
-            &protocol,
-            |b, &p| {
-                b.iter(|| {
-                    let cfg = SystemConfig::paper_default(p, TopologyKind::Torus4x4);
-                    let r = System::run_traces(cfg, micro::ping_pong(200, 2000));
-                    std::hint::black_box(r.stats.protocol.misses)
-                });
-            },
-        );
+        runner.bench(&format!("ping_pong_400ops/{protocol}"), 10, || {
+            let r = System::builder()
+                .protocol(protocol)
+                .topology(TopologyKind::Torus4x4)
+                .traces(micro::ping_pong(200, 2000))
+                .build()
+                .expect("valid config")
+                .run();
+            std::hint::black_box(r.stats.protocol.misses)
+        });
     }
-    g.finish();
-}
-
-fn bench_lock_storm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol_lock_storm");
+    println!();
     for protocol in ProtocolKind::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(protocol),
-            &protocol,
-            |b, &p| {
-                b.iter(|| {
-                    let cfg = SystemConfig::paper_default(p, TopologyKind::Butterfly16);
-                    let r = System::run_traces(cfg, micro::lock_storm(16, 10, 3, 30));
-                    std::hint::black_box(r.stats.protocol.nacks)
-                });
-            },
-        );
+        runner.bench(&format!("lock_storm_16cpu/{protocol}"), 10, || {
+            let r = System::builder()
+                .protocol(protocol)
+                .topology(TopologyKind::Butterfly16)
+                .traces(micro::lock_storm(16, 10, 3, 30))
+                .build()
+                .expect("valid config")
+                .run();
+            std::hint::black_box(r.stats.protocol.nacks)
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ping_pong, bench_lock_storm);
-criterion_main!(benches);

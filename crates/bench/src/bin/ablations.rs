@@ -11,84 +11,143 @@
 //! 4. **Token-network contention** — the detailed switch-level network
 //!    under increasing load (what the paper's unloaded model abstracts
 //!    away): GT stalls and ordering delay growth.
+//!
+//! Every measured cell lands in the emitted `GridReport` with an
+//! annotated workload name (`"OLTP[S=8]"`, `"OLTP[block=128]"`, …).
 
 use std::sync::Arc;
 
-use tss::methodology::min_over_perturbations;
-use tss::{ProtocolKind, TopologyKind};
-use tss_bench::Options;
+use tss::experiment::{ExperimentGrid, GridReport, RunReport};
+use tss::{ProtocolKind, Timing, TopologyKind};
+use tss_bench::Cli;
 use tss_net::{DetailedNet, DetailedNetConfig, Fabric, NodeId};
+use tss_proto::CacheConfig;
 use tss_sim::{Duration, Time};
 use tss_workloads::paper;
 
-fn slack_sweep(opts: &Options) {
+/// Runs a one-cell grid with the given overrides and returns its cell,
+/// renamed to `label`.
+fn one_cell(
+    cli: &Cli,
+    protocol: ProtocolKind,
+    topology: TopologyKind,
+    timing: Timing,
+    cache: CacheConfig,
+    label: String,
+) -> RunReport {
+    let report = ExperimentGrid::new("ablation-cell")
+        .protocols([protocol])
+        .topologies([topology])
+        .workloads(vec![paper::oltp(cli.scale)])
+        .seeds([cli.seed])
+        .perturbation(cli.perturbation_ns, 1)
+        .timing(timing)
+        .cache(cache)
+        .run()
+        .unwrap_or_else(|e| panic!("ablation cell invalid: {e}"));
+    let mut cell = report.cells.into_iter().next().expect("one cell");
+    cell.workload = label;
+    cell
+}
+
+fn slack_sweep(cli: &Cli, cells: &mut Vec<RunReport>) {
     println!("Ablation 1: initial slack S vs runtime (TS-Snoop, torus, OLTP)");
     println!("{:>6} {:>14} {:>16}", "S", "runtime (ns)", "vs S=0");
-    let spec = paper::oltp(opts.scale);
     let mut base = 0u64;
     for s in [0u64, 2, 8, 32, 128] {
-        let mut cfg = opts.config(ProtocolKind::TsSnoop, TopologyKind::Torus4x4);
-        cfg.timing.initial_slack = s;
-        let stats = min_over_perturbations(&cfg, &spec, 1);
+        let timing = Timing {
+            initial_slack: s,
+            ..Timing::default()
+        };
+        let cell = one_cell(
+            cli,
+            ProtocolKind::TsSnoop,
+            TopologyKind::Torus4x4,
+            timing,
+            CacheConfig::paper_default(),
+            format!("OLTP[S={s}]"),
+        );
         if s == 0 {
-            base = stats.runtime.as_ns();
+            base = cell.runtime_ns();
         }
         println!(
             "{:>6} {:>14} {:>15.2}%",
             s,
-            stats.runtime.as_ns(),
-            100.0 * (stats.runtime.as_ns() as f64 / base as f64 - 1.0)
+            cell.runtime_ns(),
+            100.0 * (cell.runtime_ns() as f64 / base as f64 - 1.0)
         );
+        cells.push(cell);
     }
     println!();
 }
 
-fn prefetch_ablation(opts: &Options) {
+fn prefetch_ablation(cli: &Cli, cells: &mut Vec<RunReport>) {
     println!("Ablation 2: optimisation 1 (prefetch on early arrival), TS-Snoop");
     println!(
         "{:<12} {:<10} {:>14} {:>14} {:>8}",
         "topology", "prefetch", "runtime (ns)", "mean miss", "delta"
     );
-    let spec = paper::oltp(opts.scale);
-    for topo in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+    for topo in TopologyKind::PAPER {
         let mut base = 0.0;
         for prefetch in [true, false] {
-            let mut cfg = opts.config(ProtocolKind::TsSnoop, topo);
-            cfg.timing.prefetch = prefetch;
-            let stats = min_over_perturbations(&cfg, &spec, 1);
-            let mean = stats.miss_latency.mean_ns().unwrap_or(0.0);
+            let timing = Timing {
+                prefetch,
+                ..Timing::default()
+            };
+            let cell = one_cell(
+                cli,
+                ProtocolKind::TsSnoop,
+                topo,
+                timing,
+                CacheConfig::paper_default(),
+                format!("OLTP[prefetch={prefetch}]"),
+            );
+            let mean = cell.stats.miss_latency.mean_ns().unwrap_or(0.0);
             if prefetch {
-                base = stats.runtime.as_ns() as f64;
+                base = cell.runtime_ns() as f64;
             }
             println!(
                 "{:<12} {:<10} {:>14} {:>14.0} {:>7.1}%",
                 topo.label(),
                 prefetch,
-                stats.runtime.as_ns(),
+                cell.runtime_ns(),
                 mean,
-                100.0 * (stats.runtime.as_ns() as f64 / base - 1.0)
+                100.0 * (cell.runtime_ns() as f64 / base - 1.0)
             );
+            cells.push(cell);
         }
     }
     println!();
 }
 
-fn block_size_sweep(opts: &Options) {
+fn block_size_sweep(cli: &Cli, cells: &mut Vec<RunReport>) {
     println!("Ablation 3: block size vs measured TS-Snoop bandwidth premium (butterfly, OLTP)");
     println!(
         "{:>7} {:>14} {:>14} {:>10}",
         "block", "TS bytes", "DirOpt bytes", "TS extra"
     );
-    let spec = paper::oltp(opts.scale);
     for block in [64u64, 128, 256] {
         let mut totals = [0u64; 2];
-        for (i, proto) in [ProtocolKind::TsSnoop, ProtocolKind::DirOpt].iter().enumerate() {
-            let mut cfg = opts.config(*proto, TopologyKind::Butterfly16);
-            cfg.cache.block_bytes = block;
+        for (i, proto) in [ProtocolKind::TsSnoop, ProtocolKind::DirOpt]
+            .iter()
+            .enumerate()
+        {
             // Keep set count constant: capacity scales with block size.
-            cfg.cache.capacity_bytes = (4 << 20) * block / 64;
-            let stats = min_over_perturbations(&cfg, &spec, 1);
-            totals[i] = stats.traffic.total();
+            let cache = CacheConfig {
+                block_bytes: block,
+                capacity_bytes: (4 << 20) * block / 64,
+                ..CacheConfig::paper_default()
+            };
+            let cell = one_cell(
+                cli,
+                *proto,
+                TopologyKind::Butterfly16,
+                Timing::default(),
+                cache,
+                format!("OLTP[block={block}]"),
+            );
+            totals[i] = cell.total_bytes();
+            cells.push(cell);
         }
         println!(
             "{:>6}B {:>14} {:>14} {:>9.0}%",
@@ -142,13 +201,15 @@ fn contention_ablation() {
 }
 
 fn main() {
-    let mut opts = Options::from_args();
+    let mut cli = Cli::parse();
     // Ablations default to a smaller scale than the figures.
-    if (opts.scale - tss_bench::DEFAULT_SCALE).abs() < 1e-12 {
-        opts.scale = 1.0 / 128.0;
+    if (cli.scale - tss_bench::DEFAULT_SCALE).abs() < 1e-12 {
+        cli.scale = 1.0 / 128.0;
     }
-    slack_sweep(&opts);
-    prefetch_ablation(&opts);
-    block_size_sweep(&opts);
+    let mut cells = Vec::new();
+    slack_sweep(&cli, &mut cells);
+    prefetch_ablation(&cli, &mut cells);
+    block_size_sweep(&cli, &mut cells);
     contention_ablation();
+    cli.emit(&GridReport::from_cells("ablations", cells));
 }

@@ -5,44 +5,57 @@
 //! Paper result: TS-Snoop runs 10–28 % / 6–28 % faster than DirClassic /
 //! DirOpt on the butterfly, and 15–29 % / 6–23 % on the torus; DirClassic
 //! on DSS is pathological (> 2× — the paper omits those bars).
+//!
+//! With a `--protocols` filter the table renders whatever protocols ran,
+//! normalised to the first one listed.
 
 use tss::ProtocolKind;
-use tss_bench::{dump_json, run_cell, Cell, Options, TOPOLOGIES};
-use tss_workloads::paper;
+use tss_bench::Cli;
 
 fn main() {
-    let opts = Options::from_args();
+    let cli = Cli::parse();
+    // Normalise to TS-Snoop when present (the paper's baseline), else to
+    // the first protocol the user asked for.
+    let baseline = if cli.protocols.contains(&ProtocolKind::TsSnoop) {
+        ProtocolKind::TsSnoop
+    } else {
+        cli.protocols[0]
+    };
     println!(
-        "Figure 3: Normalized runtime (TS-Snoop = 1.00; scale {:.4}, min of {} perturbed runs)",
-        opts.scale, opts.seeds
+        "Figure 3: Normalized runtime ({baseline} = 1.00; scale {:.4}, min of {} perturbed runs)",
+        cli.scale, cli.seeds
     );
-    let mut all_cells: Vec<Cell> = Vec::new();
-    for topo in TOPOLOGIES {
+    let report = cli.run_grid(cli.grid("fig3"));
+    for &topo in &report.topologies {
         println!("\n[{}]", topo.label());
-        println!(
-            "{:<10} {:>9} {:>11} {:>8} {:>22}",
-            "workload", "TS-Snoop", "DirClassic", "DirOpt", "(faster-than: DC, DO)"
-        );
-        for spec in paper::all(opts.scale) {
-            let cells: Vec<Cell> = ProtocolKind::ALL
-                .iter()
-                .map(|&p| run_cell(&opts, &spec, topo, p))
-                .collect();
-            let base = cells[0].runtime_ns as f64;
-            let ratio = |c: &Cell| c.runtime_ns as f64 / base;
-            // "X is n% faster than Y" means TimeY/TimeX - 1 = n% (paper fn 4).
-            let faster = |c: &Cell| (c.runtime_ns as f64 / base - 1.0) * 100.0;
-            println!(
-                "{:<10} {:>9.2} {:>11.2} {:>8.2} {:>14.0}% {:>6.0}%",
-                spec.name,
-                1.00,
-                ratio(&cells[1]),
-                ratio(&cells[2]),
-                faster(&cells[1]),
-                faster(&cells[2]),
-            );
-            all_cells.extend(cells);
+        print!("{:<10}", "workload");
+        for &p in &report.protocols {
+            print!(" {:>11}", p.to_string());
+        }
+        println!("  (slower-than-{baseline} %)");
+        for workload in &report.workloads {
+            let Some(base) = report.cell(workload, topo, baseline) else {
+                continue;
+            };
+            let base = base.runtime_ns() as f64;
+            print!("{workload:<10}");
+            let mut pcts = Vec::new();
+            for &p in &report.protocols {
+                // "X is n% faster than Y" means TimeY/TimeX - 1 = n%
+                // (paper footnote 4).
+                match report.cell(workload, topo, p) {
+                    Some(c) => {
+                        let ratio = c.runtime_ns() as f64 / base;
+                        print!(" {ratio:>11.2}");
+                        if p != baseline {
+                            pcts.push(format!("{}: {:+.0}%", p, (ratio - 1.0) * 100.0));
+                        }
+                    }
+                    None => print!(" {:>11}", "-"),
+                }
+            }
+            println!("  {}", pcts.join("  "));
         }
     }
-    dump_json("fig3", &all_cells);
+    cli.emit(&report);
 }

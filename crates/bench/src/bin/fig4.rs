@@ -7,32 +7,40 @@
 //! (equivalently, directories use 12–30 % less).
 
 use tss::ProtocolKind;
-use tss_bench::{dump_json, run_cell, Cell, Options, TOPOLOGIES};
-use tss_workloads::paper;
+use tss_bench::Cli;
 
 fn main() {
-    let opts = Options::from_args();
+    let cli = Cli::parse();
+    // Normalise to TS-Snoop when present (the paper's baseline), else to
+    // the first protocol the user asked for.
+    let baseline = if cli.protocols.contains(&ProtocolKind::TsSnoop) {
+        ProtocolKind::TsSnoop
+    } else {
+        cli.protocols[0]
+    };
     println!(
-        "Figure 4: Normalized link traffic (TS-Snoop = 1.00; scale {:.4})",
-        opts.scale
+        "Figure 4: Normalized link traffic ({baseline} = 1.00; scale {:.4})",
+        cli.scale
     );
-    let mut all_cells: Vec<Cell> = Vec::new();
-    for topo in TOPOLOGIES {
+    let report = cli.run_grid(cli.grid("fig4"));
+    for &topo in &report.topologies {
         println!("\n[{}]", topo.label());
         println!(
             "{:<10} {:<11} {:>6} {:>7} {:>6} {:>6} {:>7} {:>11}",
-            "workload", "protocol", "Data", "Request", "Nack", "Misc", "total", "(TS extra)"
+            "workload", "protocol", "Data", "Request", "Nack", "Misc", "total", "(base extra)"
         );
-        for spec in paper::all(opts.scale) {
-            let cells: Vec<Cell> = ProtocolKind::ALL
-                .iter()
-                .map(|&p| run_cell(&opts, &spec, topo, p))
-                .collect();
-            let base = cells[0].total_bytes() as f64;
-            for c in &cells {
+        for workload in &report.workloads {
+            let Some(base_cell) = report.cell(workload, topo, baseline) else {
+                continue;
+            };
+            let base = base_cell.total_bytes() as f64;
+            for &p in &report.protocols {
+                let Some(c) = report.cell(workload, topo, p) else {
+                    continue;
+                };
                 let t = c.total_bytes() as f64;
                 let share = |x: u64| x as f64 / base;
-                let extra = if c.protocol == "TS-Snoop" {
+                let extra = if c.protocol == baseline {
                     String::new()
                 } else {
                     format!("{:>+9.0}%", (base / t - 1.0) * 100.0)
@@ -40,18 +48,17 @@ fn main() {
                 println!(
                     "{:<10} {:<11} {:>6.2} {:>7.2} {:>6.2} {:>6.2} {:>7.2} {:>11}",
                     c.workload,
-                    c.protocol,
-                    share(c.data_bytes),
-                    share(c.request_bytes),
-                    share(c.nack_bytes),
-                    share(c.misc_bytes),
+                    c.protocol.to_string(),
+                    share(c.stats.traffic.data_bytes),
+                    share(c.stats.traffic.request_bytes),
+                    share(c.stats.traffic.nack_bytes),
+                    share(c.stats.traffic.misc_bytes),
                     t / base,
                     extra
                 );
             }
-            all_cells.extend(cells);
         }
     }
-    println!("\n(TS extra) = how much more link bandwidth TS-Snoop uses than that protocol.");
-    dump_json("fig4", &all_cells);
+    println!("\n(base extra) = how much more link bandwidth {baseline} uses than that protocol.");
+    cli.emit(&report);
 }

@@ -1,0 +1,62 @@
+//! The fully declarative experiment runner: every axis comes from the
+//! command line, nothing is hard-wired. The generic front door for
+//! sweeps the other binaries don't cover.
+//!
+//! ```sh
+//! # The paper's whole Figure 3/4 grid, as one artifact:
+//! cargo run --release -p tss-bench --bin grid -- --json results/full.json
+//!
+//! # A custom sweep: two protocols, a 64-node torus, two workloads:
+//! cargo run --release -p tss-bench --bin grid -- \
+//!     --protocols ts-snoop,dir-opt --topologies torus:8x8 \
+//!     --workloads oltp,dss --scale 0.005 --json results/big-torus.json
+//! ```
+
+use tss_bench::{norm, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let grid = cli.grid("grid");
+    eprintln!(
+        "running {} cells ({} workloads x {} topologies x {} protocols, seed {}, \
+         min of {} perturbed runs)...",
+        grid.cell_count(),
+        cli.paper_workloads()
+            .expect("validated at parse time")
+            .len(),
+        cli.topologies.len(),
+        cli.protocols.len(),
+        cli.seed,
+        cli.seeds,
+    );
+    let report = cli.run_grid(grid);
+    println!(
+        "{:<10} {:<12} {:<12} {:>12} {:>8} {:>14} {:>8} {:>6}",
+        "workload", "topology", "protocol", "runtime", "vs TS", "link-bytes", "vs TS", "c2c"
+    );
+    for workload in &report.workloads {
+        for &topology in &report.topologies {
+            let base = report
+                .cell(workload, topology, tss::ProtocolKind::TsSnoop)
+                .map(|c| (c.runtime_ns(), c.total_bytes()));
+            for &protocol in &report.protocols {
+                let Some(c) = report.cell(workload, topology, protocol) else {
+                    continue;
+                };
+                let (rt0, by0) = base.unwrap_or((c.runtime_ns(), c.total_bytes()));
+                println!(
+                    "{:<10} {:<12} {:<12} {:>10}ns {:>8} {:>14} {:>8} {:>5.0}%",
+                    c.workload,
+                    topology.to_string(),
+                    c.protocol.to_string(),
+                    c.runtime_ns(),
+                    norm(c.runtime_ns(), rt0),
+                    c.total_bytes(),
+                    norm(c.total_bytes(), by0),
+                    100.0 * c.c2c_fraction(),
+                );
+            }
+        }
+    }
+    cli.emit(&report);
+}

@@ -9,40 +9,53 @@
 //! directory protocols [...] become increasingly attractive" once real
 //! links saturate.
 
-use tss::methodology::min_over_perturbations;
 use tss::{ProtocolKind, TopologyKind};
-use tss_bench::Options;
+use tss_bench::Cli;
 use tss_workloads::paper;
 
 fn main() {
-    let opts = Options::from_args();
-    let scale = opts.scale.min(1.0 / 128.0); // keep 64-node runs snappy
+    let mut cli = Cli::parse();
+    cli.scale = cli.scale.min(1.0 / 128.0); // keep 64-node runs snappy
     println!(
         "System-size scaling: OLTP at scale {:.4}, torus fabrics, TS-Snoop vs DirOpt",
-        scale
+        cli.scale
+    );
+    let topologies = [
+        TopologyKind::Torus {
+            width: 2,
+            height: 2,
+        },
+        TopologyKind::Torus4x4,
+        TopologyKind::Torus {
+            width: 8,
+            height: 8,
+        },
+    ];
+    let report = cli.run_grid(
+        cli.grid("scaling")
+            .protocols([ProtocolKind::TsSnoop, ProtocolKind::DirOpt])
+            .topologies(topologies)
+            .workloads(vec![paper::oltp(cli.scale)]),
     );
     println!(
         "{:>6} {:>14} {:>14} {:>10} {:>12} {:>12} {:>10}",
         "nodes", "TS runtime", "DirOpt rt", "TS faster", "TS bytes", "DirOpt bytes", "TS extra"
     );
-    for (w, h) in [(2u32, 2u32), (4, 4), (8, 8)] {
-        let topology = TopologyKind::Torus { width: w, height: h };
-        let spec = paper::oltp(scale);
-        let mut results = Vec::new();
-        for protocol in [ProtocolKind::TsSnoop, ProtocolKind::DirOpt] {
-            let cfg = opts.config(protocol, topology);
-            results.push(min_over_perturbations(&cfg, &spec, opts.seeds));
-        }
-        let (ts, dopt) = (&results[0], &results[1]);
+    for &topology in &report.topologies {
+        let ts = report.cell("OLTP", topology, ProtocolKind::TsSnoop);
+        let dopt = report.cell("OLTP", topology, ProtocolKind::DirOpt);
+        let (Some(ts), Some(dopt)) = (ts, dopt) else {
+            continue;
+        };
         println!(
             "{:>6} {:>12}ns {:>12}ns {:>9.0}% {:>12} {:>12} {:>9.0}%",
-            w * h,
-            ts.runtime.as_ns(),
-            dopt.runtime.as_ns(),
-            100.0 * (dopt.runtime.as_ns() as f64 / ts.runtime.as_ns() as f64 - 1.0),
-            ts.traffic.total(),
-            dopt.traffic.total(),
-            100.0 * (ts.traffic.total() as f64 / dopt.traffic.total() as f64 - 1.0),
+            topology.validate().expect("grid validated"),
+            ts.runtime_ns(),
+            dopt.runtime_ns(),
+            100.0 * (dopt.runtime_ns() as f64 / ts.runtime_ns() as f64 - 1.0),
+            ts.total_bytes(),
+            dopt.total_bytes(),
+            100.0 * (ts.total_bytes() as f64 / dopt.total_bytes() as f64 - 1.0),
         );
     }
     println!(
@@ -50,4 +63,5 @@ fn main() {
          bandwidth premium grows with node count (cf. bandwidth_bound), which\n\
          is what eventually caps snooping's viable system size."
     );
+    cli.emit(&report);
 }

@@ -4,16 +4,37 @@
 //! (the paper's §4.3 validation methodology).
 
 use tss::analytic::unloaded_latencies;
-use tss::{ProtocolKind, System, SystemConfig, Timing, TopologyKind};
+use tss::experiment::{GridReport, RunReport};
+use tss::{ProtocolKind, System, SystemStats, Timing, TopologyKind};
+use tss_bench::Cli;
 use tss_proto::{Block, CpuOp};
+use tss_sim::stats::LatencyStat;
 use tss_workloads::micro;
+
+/// One verified single-miss run through the builder.
+fn run_micro(
+    protocol: ProtocolKind,
+    topology: TopologyKind,
+    traces: Vec<Vec<tss_workloads::TraceItem>>,
+) -> SystemStats {
+    System::builder()
+        .protocol(protocol)
+        .topology(topology)
+        .traces(traces)
+        .build()
+        .unwrap_or_else(|e| panic!("paper config is valid: {e}"))
+        .run()
+        .stats
+}
 
 /// Measures the mean cache-to-cache miss latency over all (owner,
 /// requester) node pairs and block homes: the owner stores a block
-/// (making it M), then the requester loads it.
-fn measured_c2c(protocol: ProtocolKind, topology: TopologyKind) -> f64 {
-    let mut total = 0.0;
-    let mut count = 0;
+/// (making it M), then the requester loads it. The returned stats carry
+/// the aggregate over every requester miss (one sample per pair), so the
+/// emitted artifact's mean equals the printed measurement.
+fn measured_c2c(protocol: ProtocolKind, topology: TopologyKind) -> (f64, SystemStats) {
+    let mut aggregate = LatencyStat::new();
+    let mut last = None;
     for owner in 0..16usize {
         for requester in 0..16usize {
             if owner == requester {
@@ -22,46 +43,43 @@ fn measured_c2c(protocol: ProtocolKind, topology: TopologyKind) -> f64 {
             // Vary the home independently of owner and requester.
             let home = (owner * 5 + requester * 11 + 3) % 16;
             let b = Block(((owner * 16 + requester) * 16 + home) as u64);
-            let mut traces = vec![Vec::new(); 16];
-            traces[owner].push(tss_workloads::TraceItem {
-                gap_instructions: 4,
-                op: CpuOp::Store(b),
-            });
-            // Long gap: issue strictly after the owner holds M.
-            traces[requester].push(tss_workloads::TraceItem {
-                gap_instructions: 40_000,
-                op: CpuOp::Load(b),
-            });
-            let cfg = SystemConfig::paper_default(protocol, topology);
-            let r = System::run_traces(cfg, traces);
-            total += r.stats.miss_latency_per_node[requester]
-                .max()
-                .unwrap()
-                .as_ns() as f64;
-            count += 1;
+            let stats = run_micro(
+                protocol,
+                topology,
+                micro::single_miss_pair(owner, requester, b, 16),
+            );
+            // The requester's single sample is the c2c miss; the owner's
+            // cold store is a memory miss and is excluded.
+            aggregate.merge(&stats.miss_latency_per_node[requester]);
+            last = Some(stats);
         }
     }
-    total / count as f64
+    let mut stats = last.expect("16x15 pairs ran");
+    stats.miss_latency = aggregate;
+    (aggregate.mean_ns().expect("240 samples"), stats)
 }
 
-/// Measures a clean fetch from memory (cold load).
-fn measured_memory(protocol: ProtocolKind, topology: TopologyKind) -> f64 {
-    let mut total = 0.0;
-    let mut count = 0;
+/// Measures a clean fetch from memory (cold load), aggregated over 64
+/// home blocks the same way.
+fn measured_memory(protocol: ProtocolKind, topology: TopologyKind) -> (f64, SystemStats) {
+    let mut aggregate = LatencyStat::new();
+    let mut last = None;
     for b in 0..64u64 {
         let traces = vec![
             Vec::new(),
             micro::scripted(vec![vec![CpuOp::Load(Block(b))]], 4).remove(0),
         ];
-        let cfg = SystemConfig::paper_default(protocol, topology);
-        let r = System::run_traces(cfg, traces);
-        total += r.stats.miss_latency.max().unwrap().as_ns() as f64;
-        count += 1;
+        let stats = run_micro(protocol, topology, traces);
+        aggregate.merge(&stats.miss_latency);
+        last = Some(stats);
     }
-    total / count as f64
+    let mut stats = last.expect("64 blocks ran");
+    stats.miss_latency = aggregate;
+    (aggregate.mean_ns().expect("64 samples"), stats)
 }
 
 fn main() {
+    let cli = Cli::parse();
     let timing = Timing::default();
     println!("Table 2: Unloaded Network Timing Assumptions");
     println!("  Assumed: D_ovh=4ns  D_switch=15ns  D_mem=80ns  D_cache=25ns\n");
@@ -69,6 +87,15 @@ fn main() {
         "{:<46} {:>10} {:>10} {:>10}",
         "", "analytic", "measured", "paper"
     );
+    let mut cells: Vec<RunReport> = Vec::new();
+    let mut keep = |name: &str, protocol, topology, stats| {
+        let cfg = System::builder()
+            .protocol(protocol)
+            .topology(topology)
+            .build_config()
+            .expect("paper config is valid");
+        cells.push(RunReport::from_stats(name, &cfg, 1, stats));
+    };
     for (topo, name) in [
         (TopologyKind::Butterfly16, "indirect radix-4 butterfly"),
         (TopologyKind::Torus4x4, "direct 4x4 torus (means)"),
@@ -85,17 +112,20 @@ fn main() {
             "  {:<44} {:>10.0} {:>10} {:>10.0}",
             "One way latency (Dnet)", rows.one_way_mean, "-", paper[0]
         );
-        let mem = measured_memory(ProtocolKind::TsSnoop, topo);
+        let (mem, mem_stats) = measured_memory(ProtocolKind::TsSnoop, topo);
+        keep("memory-miss", ProtocolKind::TsSnoop, topo, mem_stats);
         println!(
             "  {:<44} {:>10.0} {:>10.0} {:>10.0}",
             "Block from memory", rows.from_memory, mem, paper[1]
         );
-        let c2c_ts = measured_c2c(ProtocolKind::TsSnoop, topo);
+        let (c2c_ts, ts_stats) = measured_c2c(ProtocolKind::TsSnoop, topo);
+        keep("c2c-miss", ProtocolKind::TsSnoop, topo, ts_stats);
         println!(
             "  {:<44} {:>10.0} {:>10.0} {:>10.0}",
             "Block from cache, timestamp snooping", rows.c2c_snooping, c2c_ts, paper[2]
         );
-        let c2c_dir = measured_c2c(ProtocolKind::DirClassic, topo);
+        let (c2c_dir, dir_stats) = measured_c2c(ProtocolKind::DirClassic, topo);
+        keep("c2c-miss", ProtocolKind::DirClassic, topo, dir_stats);
         println!(
             "  {:<44} {:>10.0} {:>10.0} {:>10.0}",
             "Block from cache, directory (3 hops)", rows.c2c_directory, c2c_dir, paper[3]
@@ -107,4 +137,5 @@ fn main() {
          event-driven simulator; the snooping rows include the logical\n\
          ordering delay that Table 2's closed form overlaps with prefetch."
     );
+    cli.emit(&GridReport::from_cells("table2", cells));
 }

@@ -8,12 +8,14 @@
 //! alongside for comparison; note the miss counts scale with `--scale`.
 
 use tss::{ProtocolKind, TopologyKind};
-use tss_bench::{dump_json, run_cell, Options};
-use tss_workloads::paper;
+use tss_bench::Cli;
 
 fn main() {
-    let opts = Options::from_args();
-    println!("Table 3: Benchmark Characteristics (scale {:.4})", opts.scale);
+    let cli = Cli::parse();
+    println!(
+        "Table 3: Benchmark Characteristics (scale {:.4})",
+        cli.scale
+    );
     println!(
         "{:<10} {:>12} {:>12} {:>10} | {:>14} {:>12} {:>8}",
         "Benchmark", "Touched(MB)", "Misses", "3-Hop", "paper MB", "paper misses", "paper"
@@ -25,20 +27,27 @@ fn main() {
         ("AltaVista", 15.3, 2.4e6, 40),
         ("Barnes", 4.0, 1.0e6, 43),
     ];
-    let mut cells = Vec::new();
-    for (spec, (name, mb, misses, pct)) in paper::all(opts.scale).iter().zip(paper_rows) {
-        let cell = run_cell(&opts, spec, TopologyKind::Butterfly16, ProtocolKind::TsSnoop);
+    let report = cli.run_grid(
+        cli.grid("table3")
+            .protocols([ProtocolKind::TsSnoop])
+            .topologies([TopologyKind::Butterfly16]),
+    );
+    for cell in &report.cells {
+        let (_, mb, misses, pct) = paper_rows
+            .iter()
+            .find(|(name, ..)| *name == cell.workload)
+            .copied()
+            .unwrap_or((/* non-paper workload */ "", f64::NAN, f64::NAN, 0));
         println!(
             "{:<10} {:>12.1} {:>12} {:>9.0}% | {:>14.1} {:>12.1e} {:>7}%",
-            name,
-            cell.data_touched_mb,
-            cell.misses,
+            cell.workload,
+            cell.stats.data_touched_mb,
+            cell.stats.protocol.misses,
             100.0 * cell.c2c_fraction(),
             mb,
             misses,
             pct
         );
-        cells.push(cell);
     }
-    dump_json("table3", &cells);
+    cli.emit(&report);
 }

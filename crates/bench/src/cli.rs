@@ -1,0 +1,305 @@
+//! The one command-line layer every experiment binary shares.
+//!
+//! Replaces the per-binary `Options` plumbing of the seed repo: parsing,
+//! axis filters, workload construction and JSON emission all live here, so
+//! a binary is just "build a grid, print a table, [`Cli::emit`] the
+//! report".
+
+use std::path::PathBuf;
+
+use tss::experiment::{ExperimentGrid, GridReport};
+use tss::{ProtocolKind, TopologyKind};
+use tss_workloads::{paper, WorkloadSpec};
+
+use crate::{DEFAULT_PERTURBATION_NS, DEFAULT_SCALE, DEFAULT_SEEDS};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Workload scale factor (fraction of the paper's footprints).
+    pub scale: f64,
+    /// Perturbation runs per configuration (§4.3 methodology).
+    pub seeds: u64,
+    /// Maximum response jitter (ns).
+    pub perturbation_ns: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Protocol axis filter (defaults to all three).
+    pub protocols: Vec<ProtocolKind>,
+    /// Topology axis filter (defaults to the two paper fabrics).
+    pub topologies: Vec<TopologyKind>,
+    /// Workload name filter (`None` = every paper workload).
+    pub workloads: Option<Vec<String>>,
+    /// Where to write the run's [`GridReport`] JSON, if anywhere.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: DEFAULT_SCALE,
+            seeds: DEFAULT_SEEDS,
+            perturbation_ns: DEFAULT_PERTURBATION_NS,
+            seed: 0,
+            protocols: ProtocolKind::ALL.to_vec(),
+            topologies: TopologyKind::PAPER.to_vec(),
+            workloads: None,
+            json: None,
+        }
+    }
+}
+
+/// The usage text printed on `--help` or a parse error.
+pub const USAGE: &str = "\
+options:
+  --scale <f>         workload scale factor (default 1/64)
+  --seeds <n>         perturbation runs per cell (default 3)
+  --perturbation <ns> max response jitter in ns (default 4)
+  --seed <n>          workload seed (default 0)
+  --protocols <list>  comma-separated: ts-snoop,dir-classic,dir-opt
+  --topologies <list> comma-separated: butterfly,torus,torus:WxH,butterfly:RxSxP
+  --workloads <list>  comma-separated: oltp,dss,apache,altavista,barnes
+  --json <path>       write the run's GridReport JSON artifact
+  --help              print this message";
+
+impl Cli {
+    /// Parses `std::env::args`, printing usage and exiting on error or
+    /// `--help`.
+    pub fn parse() -> Cli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Cli::parse_from(&args) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                if msg == "help" {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                eprintln!("error: {msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of [`Cli::parse`]).
+    pub fn parse_from(args: &[String]) -> Result<Cli, String> {
+        let mut cli = Cli::default();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if flag == "--help" || flag == "-h" {
+                return Err("help".into());
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))?;
+            match flag {
+                "--scale" => {
+                    cli.scale = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|s| s.is_finite() && *s > 0.0)
+                        .ok_or_else(|| {
+                            format!("--scale must be a positive number, got {value:?}")
+                        })?;
+                }
+                "--seeds" => {
+                    cli.seeds = value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|s| *s > 0)
+                        .ok_or_else(|| {
+                            format!("--seeds must be a positive integer, got {value:?}")
+                        })?;
+                }
+                "--perturbation" => {
+                    cli.perturbation_ns = value
+                        .parse()
+                        .map_err(|_| format!("bad --perturbation {value:?}"))?;
+                }
+                "--seed" => {
+                    cli.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?;
+                }
+                "--protocols" => {
+                    cli.protocols = value
+                        .split(',')
+                        .map(|p| p.parse().map_err(|e| format!("{e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--topologies" => {
+                    cli.topologies = value
+                        .split(',')
+                        .map(|t| t.parse().map_err(|e| format!("{e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--workloads" => {
+                    cli.workloads =
+                        Some(value.split(',').map(|w| w.to_ascii_lowercase()).collect());
+                }
+                "--json" => cli.json = Some(PathBuf::from(value)),
+                other => {
+                    return Err(format!("unknown option {other}"));
+                }
+            }
+            i += 2;
+        }
+        // Surface bad workload names at parse time, not after a sweep.
+        cli.paper_workloads()?;
+        Ok(cli)
+    }
+
+    /// The paper workloads selected by `--workloads`, at `--scale`, in
+    /// Table 1 order.
+    pub fn paper_workloads(&self) -> Result<Vec<WorkloadSpec>, String> {
+        let all = paper::all(self.scale);
+        match &self.workloads {
+            None => Ok(all),
+            Some(names) => {
+                let mut picked = Vec::new();
+                for name in names {
+                    let spec = all
+                        .iter()
+                        .find(|s| s.name.eq_ignore_ascii_case(name))
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown workload {name:?} (expected one of: oltp, dss, \
+                                 apache, altavista, barnes)"
+                            )
+                        })?;
+                    picked.push(spec.clone());
+                }
+                Ok(picked)
+            }
+        }
+    }
+
+    /// An [`ExperimentGrid`] preloaded with this CLI's axes, seed and
+    /// perturbation methodology. Workloads default to the `--workloads`
+    /// selection; override with [`ExperimentGrid::workloads`] afterwards
+    /// for binaries with a fixed workload.
+    pub fn grid(&self, name: &str) -> ExperimentGrid {
+        ExperimentGrid::new(name)
+            .protocols(self.protocols.iter().copied())
+            .topologies(self.topologies.iter().copied())
+            .workloads(
+                self.paper_workloads()
+                    .expect("names validated at parse time"),
+            )
+            .seeds([self.seed])
+            .perturbation(self.perturbation_ns, self.seeds)
+    }
+
+    /// Runs a grid, reporting an invalid configuration (e.g. a degenerate
+    /// `--topologies` entry) as a clean CLI error instead of a panic.
+    pub fn run_grid(&self, grid: ExperimentGrid) -> GridReport {
+        grid.run().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Writes the report to `--json` (if given) and always mirrors it to
+    /// `results/<name>.json` for EXPERIMENTS.md bookkeeping; IO errors on
+    /// the mirror are ignored, errors on an explicit `--json` path abort.
+    pub fn emit(&self, report: &GridReport) {
+        if let Some(path) = &self.json {
+            report.write_json(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot write --json {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            println!("\nwrote {}", path.display());
+        }
+        let _ = report.write_json(format!("results/{}.json", report.name));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_documented_methodology() {
+        let cli = Cli::parse_from(&[]).unwrap();
+        assert!((cli.scale - 1.0 / 64.0).abs() < 1e-12);
+        assert_eq!(cli.seeds, 3);
+        assert_eq!(cli.perturbation_ns, 4);
+        assert_eq!(cli.protocols, ProtocolKind::ALL.to_vec());
+        assert_eq!(cli.topologies, TopologyKind::PAPER.to_vec());
+        assert!(cli.json.is_none());
+    }
+
+    #[test]
+    fn filters_parse() {
+        let cli = Cli::parse_from(&args(&[
+            "--protocols",
+            "ts-snoop,dir-opt",
+            "--topologies",
+            "torus,torus:8x8",
+            "--workloads",
+            "oltp,barnes",
+            "--json",
+            "out.json",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.protocols,
+            vec![ProtocolKind::TsSnoop, ProtocolKind::DirOpt]
+        );
+        assert_eq!(
+            cli.topologies,
+            vec![
+                TopologyKind::Torus4x4,
+                TopologyKind::Torus {
+                    width: 8,
+                    height: 8
+                }
+            ]
+        );
+        let specs = cli.paper_workloads().unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "OLTP");
+        assert_eq!(specs[1].name, "Barnes");
+        assert_eq!(cli.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(cli.seed, 9);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(Cli::parse_from(&args(&["--scale", "0"])).is_err());
+        assert!(Cli::parse_from(&args(&["--scale", "-1"])).is_err());
+        assert!(Cli::parse_from(&args(&["--seeds", "0"])).is_err());
+        assert!(Cli::parse_from(&args(&["--protocols", "mesi"])).is_err());
+        assert!(Cli::parse_from(&args(&["--topologies", "ring"])).is_err());
+        assert!(Cli::parse_from(&args(&["--workloads", "specint"])).is_err());
+        assert!(Cli::parse_from(&args(&["--json"])).is_err());
+        assert!(Cli::parse_from(&args(&["--frobnicate", "1"])).is_err());
+    }
+
+    #[test]
+    fn grid_carries_cli_axes() {
+        let cli = Cli::parse_from(&args(&[
+            "--protocols",
+            "dir-opt",
+            "--workloads",
+            "barnes",
+            "--scale",
+            "0.001",
+            "--seeds",
+            "2",
+            "--perturbation",
+            "5",
+        ]))
+        .unwrap();
+        let report = cli.grid("cli-unit").run().unwrap();
+        assert_eq!(report.protocols, vec![ProtocolKind::DirOpt]);
+        assert_eq!(report.workloads, vec!["Barnes".to_string()]);
+        assert_eq!(report.perturbation_ns, 5);
+        assert_eq!(report.perturbation_runs, 2);
+        assert_eq!(report.cells.len(), 2); // one workload x two topologies
+    }
+}

@@ -1,0 +1,134 @@
+//! A dependency-free micro-benchmark harness for the `benches/` targets.
+//!
+//! The offline build environment has no `criterion`, so the bench targets
+//! use this ~80-line stand-in: warm-up, fixed-iteration timing loops,
+//! median-of-samples reporting, and an optional `--bench <filter>`
+//! argument (cargo passes `--bench` through; a positional substring
+//! filters which benchmarks run).
+
+use std::time::Instant;
+
+/// One registered benchmark suite, driven by [`Runner`].
+pub struct Runner {
+    filter: Option<String>,
+    samples: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+impl Runner {
+    /// Builds a runner from the process arguments cargo passes to a
+    /// `harness = false` bench target.
+    pub fn from_args() -> Runner {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--"))
+            .filter(|a| !a.is_empty());
+        Runner {
+            filter,
+            samples: 10,
+        }
+    }
+
+    /// Number of timed samples per benchmark (default 10).
+    pub fn samples(mut self, samples: usize) -> Runner {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `iters` calls of `f` per sample and prints the median
+    /// per-iteration cost. Skipped (silently) if a filter is active and
+    /// does not match `name`.
+    pub fn bench<R>(&self, name: &str, iters: u64, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        assert!(iters > 0, "need at least one iteration");
+        // Warm-up: one untimed pass.
+        std::hint::black_box(f());
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let (lo, hi) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
+        println!(
+            "{name:<44} {:>12} /iter   [{} .. {}]",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi)
+        );
+    }
+}
+
+/// Human units for a nanosecond quantity.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_formats() {
+        let runner = Runner {
+            filter: None,
+            samples: 2,
+        };
+        // Just exercise the loop; output goes to test stdout.
+        let mut count = 0u64;
+        runner.bench("unit_probe", 10, || {
+            count += 1;
+        });
+        assert!(
+            count >= 20,
+            "two samples x ten iters plus warmup, got {count}"
+        );
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let runner = Runner {
+            filter: Some("match_me".into()),
+            samples: 1,
+        };
+        let mut ran = false;
+        runner.bench("other_name", 1, || {
+            ran = true;
+        });
+        assert!(!ran);
+        runner.bench("does_match_me_yes", 1, || {
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn units_scale() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(3_500_000.0), "3.50 ms");
+        assert_eq!(fmt_ns(1.5e9), "1.50 s");
+    }
+}

@@ -1,7 +1,8 @@
 //! Shared experiment harness for regenerating the paper's tables and
 //! figures.
 //!
-//! Each binary in `src/bin/` reproduces one table or figure:
+//! Each binary in `src/bin/` reproduces one table or figure (or sweeps
+//! beyond the paper):
 //!
 //! | target | artifact |
 //! |---|---|
@@ -9,21 +10,25 @@
 //! | `table3` | Table 3 — benchmark characteristics |
 //! | `fig3` | Figure 3 — normalised runtime, butterfly & torus |
 //! | `fig4` | Figure 4 — normalised link traffic by message class |
-//! | `bandwidth_bound` | §5 back-of-the-envelope bandwidth accounting |
+//! | `bandwidth_bound` | §5 bandwidth accounting, analytic + measured |
 //! | `ablations` | slack sweep, block-size sensitivity, prefetch & contention ablations |
 //! | `scaling` | 4/16/64-node system-size sweep (§5 sensitivity) |
+//! | `latency` | per-protocol single-miss latencies vs the Table 2 closed forms |
+//! | `grid` | fully declarative runner: every axis from the command line |
 //!
-//! Pass `--scale <f>` to any workload-driven binary to change the workload
-//! scale (default 1/64 of the paper's footprints — see `DESIGN.md`), and
-//! `--seeds <n>` for the perturbation count (§4.3 methodology).
+//! All binaries share one CLI ([`Cli`]): `--scale`, `--seeds`,
+//! `--perturbation`, `--seed`, plus the grid filters `--protocols`,
+//! `--topologies`, `--workloads`, and `--json <path>` to write the run's
+//! [`GridReport`] artifact. They construct systems exclusively through
+//! [`tss::SystemBuilder`] / [`tss::experiment::ExperimentGrid`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
-use tss::methodology::min_over_perturbations;
-use tss::{ProtocolKind, SystemConfig, SystemStats, TopologyKind};
-use tss_workloads::WorkloadSpec;
+pub mod cli;
+pub mod harness;
+
+pub use cli::Cli;
 
 /// Default workload scale for figure runs: 1/64 of the paper's footprint
 /// and reference counts keeps a full Figure 3 grid under a few minutes.
@@ -35,162 +40,6 @@ pub const DEFAULT_SEEDS: u64 = 3;
 
 /// Default response jitter in nanoseconds.
 pub const DEFAULT_PERTURBATION_NS: u64 = 4;
-
-/// Command-line options shared by the experiment binaries.
-#[derive(Debug, Clone)]
-pub struct Options {
-    /// Workload scale factor.
-    pub scale: f64,
-    /// Perturbation runs per configuration.
-    pub seeds: u64,
-    /// Maximum response jitter (ns).
-    pub perturbation_ns: u64,
-    /// Workload seed.
-    pub seed: u64,
-}
-
-impl Default for Options {
-    fn default() -> Self {
-        Options {
-            scale: DEFAULT_SCALE,
-            seeds: DEFAULT_SEEDS,
-            perturbation_ns: DEFAULT_PERTURBATION_NS,
-            seed: 0,
-        }
-    }
-}
-
-impl Options {
-    /// Parses `--scale`, `--seeds`, `--perturbation`, `--seed` from argv.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn from_args() -> Options {
-        let mut opts = Options::default();
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < args.len() {
-            let value = |i: usize| -> &str {
-                args.get(i + 1)
-                    .unwrap_or_else(|| panic!("{} needs a value", args[i]))
-            };
-            match args[i].as_str() {
-                "--scale" => opts.scale = value(i).parse().expect("bad --scale"),
-                "--seeds" => opts.seeds = value(i).parse().expect("bad --seeds"),
-                "--perturbation" => {
-                    opts.perturbation_ns = value(i).parse().expect("bad --perturbation")
-                }
-                "--seed" => opts.seed = value(i).parse().expect("bad --seed"),
-                other => panic!(
-                    "unknown option {other}; known: --scale --seeds --perturbation --seed"
-                ),
-            }
-            i += 2;
-        }
-        opts
-    }
-
-    /// Builds the baseline system configuration for one cell of the grid.
-    pub fn config(&self, protocol: ProtocolKind, topology: TopologyKind) -> SystemConfig {
-        let mut cfg = SystemConfig::paper_default(protocol, topology);
-        cfg.perturbation_ns = self.perturbation_ns;
-        cfg.seed = self.seed;
-        cfg
-    }
-}
-
-/// One measured cell of the evaluation grid.
-#[derive(Debug, Clone, Serialize)]
-pub struct Cell {
-    /// Workload name.
-    pub workload: String,
-    /// Topology label ("butterfly"/"torus").
-    pub topology: String,
-    /// Protocol name.
-    pub protocol: String,
-    /// Runtime in nanoseconds (min over perturbations).
-    pub runtime_ns: u64,
-    /// Total misses.
-    pub misses: u64,
-    /// Cache-to-cache misses.
-    pub cache_to_cache: u64,
-    /// Nacks received.
-    pub nacks: u64,
-    /// Data-class bytes over all links.
-    pub data_bytes: u64,
-    /// Request-class bytes.
-    pub request_bytes: u64,
-    /// Nack-class bytes.
-    pub nack_bytes: u64,
-    /// Misc-class bytes.
-    pub misc_bytes: u64,
-    /// Data touched (MB).
-    pub data_touched_mb: f64,
-}
-
-impl Cell {
-    /// Builds a cell from a run.
-    pub fn from_stats(
-        workload: &str,
-        topology: TopologyKind,
-        protocol: ProtocolKind,
-        s: &SystemStats,
-    ) -> Cell {
-        Cell {
-            workload: workload.to_string(),
-            topology: topology.label().to_string(),
-            protocol: protocol.to_string(),
-            runtime_ns: s.runtime.as_ns(),
-            misses: s.protocol.misses,
-            cache_to_cache: s.protocol.cache_to_cache,
-            nacks: s.protocol.nacks,
-            data_bytes: s.traffic.data_bytes,
-            request_bytes: s.traffic.request_bytes,
-            nack_bytes: s.traffic.nack_bytes,
-            misc_bytes: s.traffic.misc_bytes,
-            data_touched_mb: s.data_touched_mb,
-        }
-    }
-
-    /// Total traffic bytes.
-    pub fn total_bytes(&self) -> u64 {
-        self.data_bytes + self.request_bytes + self.nack_bytes + self.misc_bytes
-    }
-
-    /// Cache-to-cache miss fraction.
-    pub fn c2c_fraction(&self) -> f64 {
-        if self.misses == 0 {
-            0.0
-        } else {
-            self.cache_to_cache as f64 / self.misses as f64
-        }
-    }
-}
-
-/// Runs one (workload, topology, protocol) cell with the §4.3 methodology.
-pub fn run_cell(
-    opts: &Options,
-    spec: &WorkloadSpec,
-    topology: TopologyKind,
-    protocol: ProtocolKind,
-) -> Cell {
-    let cfg = opts.config(protocol, topology);
-    let stats = min_over_perturbations(&cfg, spec, opts.seeds);
-    Cell::from_stats(&spec.name, topology, protocol, &stats)
-}
-
-/// The two evaluated topologies, in paper order.
-pub const TOPOLOGIES: [TopologyKind; 2] = [TopologyKind::Butterfly16, TopologyKind::Torus4x4];
-
-/// Writes `cells` as a pretty JSON file under `results/` for
-/// EXPERIMENTS.md bookkeeping; ignores IO errors.
-pub fn dump_json(name: &str, cells: &[Cell]) {
-    let _ = std::fs::create_dir_all("results");
-    if let Ok(json) = serde_json::to_string_pretty(cells) {
-        let _ = std::fs::write(format!("results/{name}.json"), json);
-    }
-}
 
 /// Formats `x` as a ratio with two decimals relative to `base`.
 pub fn norm(x: u64, base: u64) -> String {
@@ -204,37 +53,6 @@ pub fn norm(x: u64, base: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn default_options_match_documented_methodology() {
-        let o = Options::default();
-        assert!((o.scale - 1.0 / 64.0).abs() < 1e-12);
-        assert_eq!(o.seeds, 3);
-        assert_eq!(o.perturbation_ns, 4);
-    }
-
-    #[test]
-    fn config_carries_perturbation_and_seed() {
-        let mut o = Options::default();
-        o.perturbation_ns = 9;
-        o.seed = 77;
-        let cfg = o.config(ProtocolKind::DirOpt, TopologyKind::Torus4x4);
-        assert_eq!(cfg.perturbation_ns, 9);
-        assert_eq!(cfg.seed, 77);
-        assert_eq!(cfg.protocol, ProtocolKind::DirOpt);
-    }
-
-    #[test]
-    fn cell_round_trip_and_ratios() {
-        let o = Options { scale: 0.002, seeds: 1, perturbation_ns: 0, seed: 0 };
-        let spec = tss_workloads::paper::barnes(o.scale);
-        let cell = run_cell(&o, &spec, TopologyKind::Torus4x4, ProtocolKind::TsSnoop);
-        assert_eq!(cell.workload, "Barnes");
-        assert_eq!(cell.topology, "torus");
-        assert!(cell.misses > 0);
-        assert!(cell.total_bytes() > 0);
-        assert!(cell.c2c_fraction() > 0.0 && cell.c2c_fraction() < 1.0);
-    }
 
     #[test]
     fn norm_formats_and_guards_zero() {

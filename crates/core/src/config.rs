@@ -1,11 +1,15 @@
-//! System configuration: protocol × topology × timing (§4.2, Table 2).
+//! System configuration: protocol × topology × timing (§4.2, Table 2),
+//! plus the typed validation errors the [`crate::SystemBuilder`] reports.
 
-use tss_net::{Fabric, FabricKind};
+use std::fmt;
+use std::str::FromStr;
+
+use tss_net::Fabric;
 use tss_proto::CacheConfig;
 use tss_sim::Duration;
 
 /// Which coherence protocol to run (§4.2 "Protocols").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ProtocolKind {
     /// Timestamp snooping (the paper's contribution).
     TsSnoop,
@@ -17,18 +21,45 @@ pub enum ProtocolKind {
 
 impl ProtocolKind {
     /// All three protocols, in Figure 3 legend order.
-    pub const ALL: [ProtocolKind; 3] =
-        [ProtocolKind::TsSnoop, ProtocolKind::DirClassic, ProtocolKind::DirOpt];
+    pub const ALL: [ProtocolKind; 3] = [
+        ProtocolKind::TsSnoop,
+        ProtocolKind::DirClassic,
+        ProtocolKind::DirOpt,
+    ];
 }
 
-impl std::fmt::Display for ProtocolKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
             ProtocolKind::TsSnoop => "TS-Snoop",
             ProtocolKind::DirClassic => "DirClassic",
             ProtocolKind::DirOpt => "DirOpt",
         };
         f.write_str(s)
+    }
+}
+
+impl FromStr for ProtocolKind {
+    type Err = ConfigError;
+
+    /// Parses the CLI spellings: `ts-snoop`, `dir-classic`, `dir-opt`
+    /// (case-insensitive, hyphens optional).
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        let folded: String = s
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .flat_map(char::to_lowercase)
+            .collect();
+        match folded.as_str() {
+            "tssnoop" | "ts" | "snoop" => Ok(ProtocolKind::TsSnoop),
+            "dirclassic" | "classic" => Ok(ProtocolKind::DirClassic),
+            "diropt" | "opt" => Ok(ProtocolKind::DirOpt),
+            _ => Err(ConfigError::UnknownName {
+                what: "protocol",
+                given: s.to_string(),
+                expected: "ts-snoop, dir-classic, dir-opt",
+            }),
+        }
     }
 }
 
@@ -58,29 +89,268 @@ pub enum TopologyKind {
 }
 
 impl TopologyKind {
+    /// The two paper-evaluated fabrics, in Figure 2 order.
+    pub const PAPER: [TopologyKind; 2] = [TopologyKind::Butterfly16, TopologyKind::Torus4x4];
+
     /// Builds the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate shapes; call [`TopologyKind::validate`] first
+    /// (the [`crate::SystemBuilder`] does) for a typed error instead.
     pub fn build(self) -> Fabric {
         match self {
             TopologyKind::Butterfly16 => Fabric::butterfly16(),
             TopologyKind::Torus4x4 => Fabric::torus4x4(),
-            TopologyKind::Butterfly { radix, stages, planes } => {
-                Fabric::butterfly(radix, stages, planes)
-            }
+            TopologyKind::Butterfly {
+                radix,
+                stages,
+                planes,
+            } => Fabric::butterfly(radix, stages, planes),
             TopologyKind::Torus { width, height } => Fabric::torus(width, height),
         }
     }
 
+    /// Checks the shape is buildable and returns its node count.
+    ///
+    /// Rejects degenerate dimensions (zero/one-wide tori, radix < 2
+    /// butterflies, zero stages or planes) and node counts that overflow
+    /// the `u16` node-id space.
+    pub fn validate(self) -> Result<u64, ConfigError> {
+        let nodes = match self {
+            TopologyKind::Butterfly16 | TopologyKind::Torus4x4 => 16,
+            TopologyKind::Butterfly {
+                radix,
+                stages,
+                planes,
+            } => {
+                if radix < 2 || stages == 0 || planes == 0 {
+                    return Err(ConfigError::DegenerateTopology {
+                        topology: format!("{self:?}"),
+                        reason: "butterflies need radix >= 2, stages >= 1, planes >= 1",
+                    });
+                }
+                u64::from(radix)
+                    .checked_pow(stages)
+                    .ok_or(ConfigError::DegenerateTopology {
+                        topology: format!("{self:?}"),
+                        reason: "radix^stages overflows",
+                    })?
+            }
+            TopologyKind::Torus { width, height } => {
+                if width < 2 || height < 2 {
+                    return Err(ConfigError::DegenerateTopology {
+                        topology: format!("{self:?}"),
+                        reason: "tori need width >= 2 and height >= 2",
+                    });
+                }
+                u64::from(width) * u64::from(height)
+            }
+        };
+        if nodes > u64::from(u16::MAX) {
+            return Err(ConfigError::TooManyNodes {
+                nodes,
+                max: u64::from(u16::MAX),
+            });
+        }
+        Ok(nodes)
+    }
+
     /// Short label for tables ("butterfly" / "torus").
     pub fn label(self) -> &'static str {
-        match self.build().kind() {
-            FabricKind::Butterfly { .. } => "butterfly",
-            FabricKind::Torus { .. } => "torus",
+        match self {
+            TopologyKind::Butterfly16 | TopologyKind::Butterfly { .. } => "butterfly",
+            TopologyKind::Torus4x4 | TopologyKind::Torus { .. } => "torus",
         }
     }
 }
 
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::Butterfly16 => f.write_str("butterfly16"),
+            TopologyKind::Torus4x4 => f.write_str("torus4x4"),
+            TopologyKind::Butterfly {
+                radix,
+                stages,
+                planes,
+            } => {
+                write!(f, "butterfly:{radix}x{stages}x{planes}")
+            }
+            TopologyKind::Torus { width, height } => write!(f, "torus:{width}x{height}"),
+        }
+    }
+}
+
+impl FromStr for TopologyKind {
+    type Err = ConfigError;
+
+    /// Parses the CLI spellings: `butterfly` / `butterfly16`, `torus` /
+    /// `torus4x4`, `torus:WxH`, and `butterfly:RADIXxSTAGESxPLANES`.
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        let unknown = || ConfigError::UnknownName {
+            what: "topology",
+            given: s.to_string(),
+            expected: "butterfly[16], torus[4x4], torus:WxH, butterfly:RxSxP",
+        };
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "butterfly" | "butterfly16" => return Ok(TopologyKind::Butterfly16),
+            "torus" | "torus4x4" => return Ok(TopologyKind::Torus4x4),
+            _ => {}
+        }
+        if let Some(dims) = lower.strip_prefix("torus:") {
+            let parts: Vec<u32> = dims
+                .split('x')
+                .map(|p| p.parse().map_err(|_| unknown()))
+                .collect::<Result<_, _>>()?;
+            if let [width, height] = parts[..] {
+                return Ok(TopologyKind::Torus { width, height });
+            }
+        }
+        if let Some(dims) = lower.strip_prefix("butterfly:") {
+            let parts: Vec<u32> = dims
+                .split('x')
+                .map(|p| p.parse().map_err(|_| unknown()))
+                .collect::<Result<_, _>>()?;
+            if let [radix, stages, planes] = parts[..] {
+                return Ok(TopologyKind::Butterfly {
+                    radix,
+                    stages,
+                    planes,
+                });
+            }
+        }
+        Err(unknown())
+    }
+}
+
+// TopologyKind carries data in two variants, so the derive (unit variants
+// only) does not apply; serialize as the canonical display string, which
+// `FromStr` parses back — keeping the JSON schema flat and human-editable.
+impl serde::Serialize for TopologyKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for TopologyKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => s.parse().map_err(|e: ConfigError| serde::Error::msg(e)),
+            _ => Err(serde::Error::msg("expected a topology string")),
+        }
+    }
+}
+
+/// Why a configuration was rejected at build time.
+///
+/// Returned by [`crate::SystemBuilder::build`] and
+/// [`crate::experiment::ExperimentGrid::run`] instead of panicking
+/// mid-run the way raw `SystemConfig` field-poking used to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A topology with impossible dimensions (zero-wide torus, radix-1
+    /// butterfly, overflowing stage count).
+    DegenerateTopology {
+        /// The offending shape.
+        topology: String,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// Node count exceeds the `u16` node-id space.
+    TooManyNodes {
+        /// Requested node count.
+        nodes: u64,
+        /// The representable maximum.
+        max: u64,
+    },
+    /// `instructions_per_ns` is zero: CPUs would never retire anything.
+    ZeroProcessorRate,
+    /// The timestamp network's logical tick must be a positive duration.
+    ZeroTick,
+    /// Cache geometry that cannot hold a single block.
+    BadCacheGeometry {
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// A workload that issues no references, or has an all-zero/invalid
+    /// class-weight mix (e.g. built with a zero or negative scale).
+    EmptyWorkload {
+        /// The workload's name.
+        name: String,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// More per-CPU traces than the topology has nodes.
+    TooManyTraces {
+        /// Supplied trace count.
+        traces: usize,
+        /// Topology node count.
+        nodes: usize,
+    },
+    /// An experiment grid axis (protocols, topologies, workloads, seeds)
+    /// is empty, so the grid has no cells.
+    EmptyAxis {
+        /// The axis missing entries.
+        axis: &'static str,
+    },
+    /// The §4.3 methodology needs at least one perturbation run.
+    ZeroPerturbationRuns,
+    /// An unrecognised protocol/topology/workload name (CLI parsing).
+    UnknownName {
+        /// What kind of name was being parsed.
+        what: &'static str,
+        /// The string that failed to parse.
+        given: String,
+        /// The accepted spellings.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DegenerateTopology { topology, reason } => {
+                write!(f, "degenerate topology {topology}: {reason}")
+            }
+            ConfigError::TooManyNodes { nodes, max } => {
+                write!(f, "{nodes} nodes exceed the {max}-node id space")
+            }
+            ConfigError::ZeroProcessorRate => f.write_str("instructions_per_ns must be positive"),
+            ConfigError::ZeroTick => {
+                f.write_str("the timestamp network tick must be a positive duration")
+            }
+            ConfigError::BadCacheGeometry { reason } => {
+                write!(f, "bad cache geometry: {reason}")
+            }
+            ConfigError::EmptyWorkload { name, reason } => {
+                write!(f, "workload {name:?} is empty: {reason}")
+            }
+            ConfigError::TooManyTraces { traces, nodes } => {
+                write!(f, "{traces} traces for a {nodes}-node topology")
+            }
+            ConfigError::EmptyAxis { axis } => {
+                write!(f, "experiment grid axis {axis:?} has no entries")
+            }
+            ConfigError::ZeroPerturbationRuns => {
+                f.write_str("the §4.3 methodology needs at least one perturbation run")
+            }
+            ConfigError::UnknownName {
+                what,
+                given,
+                expected,
+            } => {
+                write!(f, "unknown {what} {given:?} (expected one of: {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// All timing knobs, defaulting to Table 2.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct Timing {
     /// Enter/exit the network (`D_ovh`).
     pub d_ovh: Duration,
@@ -112,8 +382,15 @@ impl Default for Timing {
     }
 }
 
-/// Full system configuration.
-#[derive(Debug, Clone)]
+/// Full system configuration — the *validated product* of a
+/// [`crate::SystemBuilder`].
+///
+/// Constructing one directly (or via the presets) and poking fields still
+/// works for tests and internal callers, but the builder is the public
+/// construction path: it funnels every consistency rule through
+/// [`SystemConfig::validate`] and reports [`ConfigError`]s instead of
+/// panicking mid-run.
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct SystemConfig {
     /// Coherence protocol.
     pub protocol: ProtocolKind,
@@ -129,6 +406,11 @@ pub struct SystemConfig {
     /// Maximum uniform random delay added to every protocol response
     /// (the §4.3 perturbation methodology); 0 disables.
     pub perturbation_ns: u64,
+    /// Which independent jitter sequence to draw perturbation noise from.
+    /// The §4.3 methodology re-runs a configuration varying ONLY this
+    /// stream id, so the workload (keyed by `seed`) stays fixed while
+    /// response timing moves.
+    pub perturbation_stream: u64,
     /// Seed for workload generation and perturbation.
     pub seed: u64,
     /// Enable the coherence checker (tests on; long benchmark runs off).
@@ -148,6 +430,7 @@ impl SystemConfig {
             timing: Timing::default(),
             instructions_per_ns: 4,
             perturbation_ns: 0,
+            perturbation_stream: 0,
             seed: 0,
             verify: false,
             record_observations: false,
@@ -163,6 +446,34 @@ impl SystemConfig {
             ..SystemConfig::paper_default(protocol, topology)
         }
     }
+
+    /// Checks every consistency rule the builder enforces and returns the
+    /// topology's node count.
+    pub fn validate(&self) -> Result<u64, ConfigError> {
+        let nodes = self.topology.validate()?;
+        if self.instructions_per_ns == 0 {
+            return Err(ConfigError::ZeroProcessorRate);
+        }
+        if self.timing.tick == Duration::ZERO {
+            return Err(ConfigError::ZeroTick);
+        }
+        if self.cache.block_bytes == 0 {
+            return Err(ConfigError::BadCacheGeometry {
+                reason: "block size is zero",
+            });
+        }
+        if self.cache.ways == 0 {
+            return Err(ConfigError::BadCacheGeometry {
+                reason: "associativity is zero",
+            });
+        }
+        if self.cache.sets() == 0 {
+            return Err(ConfigError::BadCacheGeometry {
+                reason: "capacity below one block per way",
+            });
+        }
+        Ok(nodes)
+    }
 }
 
 #[cfg(test)]
@@ -174,11 +485,75 @@ mod tests {
         assert_eq!(TopologyKind::Butterfly16.build().num_nodes(), 16);
         assert_eq!(TopologyKind::Torus4x4.build().num_nodes(), 16);
         assert_eq!(
-            TopologyKind::Torus { width: 8, height: 8 }.build().num_nodes(),
+            TopologyKind::Torus {
+                width: 8,
+                height: 8
+            }
+            .build()
+            .num_nodes(),
             64
         );
         assert_eq!(TopologyKind::Butterfly16.label(), "butterfly");
         assert_eq!(TopologyKind::Torus4x4.label(), "torus");
+        // label() answers from the variant, without building a fabric, so
+        // it works even on shapes too degenerate to build.
+        assert_eq!(
+            TopologyKind::Torus {
+                width: 0,
+                height: 0
+            }
+            .label(),
+            "torus"
+        );
+        assert_eq!(
+            TopologyKind::Butterfly {
+                radix: 1,
+                stages: 0,
+                planes: 0
+            }
+            .label(),
+            "butterfly"
+        );
+    }
+
+    #[test]
+    fn topology_validation() {
+        assert_eq!(TopologyKind::Butterfly16.validate(), Ok(16));
+        assert_eq!(
+            TopologyKind::Torus {
+                width: 8,
+                height: 4
+            }
+            .validate(),
+            Ok(32)
+        );
+        assert!(matches!(
+            TopologyKind::Torus {
+                width: 0,
+                height: 4
+            }
+            .validate(),
+            Err(ConfigError::DegenerateTopology { .. })
+        ));
+        assert!(matches!(
+            TopologyKind::Butterfly {
+                radix: 1,
+                stages: 2,
+                planes: 1
+            }
+            .validate(),
+            Err(ConfigError::DegenerateTopology { .. })
+        ));
+        // 2^17 = 131072 nodes overflow the u16 id space.
+        assert!(matches!(
+            TopologyKind::Butterfly {
+                radix: 2,
+                stages: 17,
+                planes: 1
+            }
+            .validate(),
+            Err(ConfigError::TooManyNodes { .. })
+        ));
     }
 
     #[test]
@@ -195,5 +570,89 @@ mod tests {
     fn protocol_display() {
         assert_eq!(ProtocolKind::TsSnoop.to_string(), "TS-Snoop");
         assert_eq!(ProtocolKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn protocol_parsing() {
+        assert_eq!(
+            "ts-snoop".parse::<ProtocolKind>(),
+            Ok(ProtocolKind::TsSnoop)
+        );
+        assert_eq!(
+            "TS-Snoop".parse::<ProtocolKind>(),
+            Ok(ProtocolKind::TsSnoop)
+        );
+        assert_eq!(
+            "dir-classic".parse::<ProtocolKind>(),
+            Ok(ProtocolKind::DirClassic)
+        );
+        assert_eq!("DirOpt".parse::<ProtocolKind>(), Ok(ProtocolKind::DirOpt));
+        assert!(matches!(
+            "mesi".parse::<ProtocolKind>(),
+            Err(ConfigError::UnknownName { .. })
+        ));
+    }
+
+    #[test]
+    fn topology_parsing_round_trips_display() {
+        for t in [
+            TopologyKind::Butterfly16,
+            TopologyKind::Torus4x4,
+            TopologyKind::Torus {
+                width: 8,
+                height: 8,
+            },
+            TopologyKind::Butterfly {
+                radix: 4,
+                stages: 3,
+                planes: 2,
+            },
+        ] {
+            assert_eq!(t.to_string().parse::<TopologyKind>(), Ok(t));
+        }
+        assert_eq!(
+            "butterfly".parse::<TopologyKind>(),
+            Ok(TopologyKind::Butterfly16)
+        );
+        assert_eq!("torus".parse::<TopologyKind>(), Ok(TopologyKind::Torus4x4));
+        assert!("torus:8".parse::<TopologyKind>().is_err());
+        assert!("ring".parse::<TopologyKind>().is_err());
+    }
+
+    #[test]
+    fn config_validation_catches_bad_knobs() {
+        let good = SystemConfig::paper_default(ProtocolKind::TsSnoop, TopologyKind::Torus4x4);
+        assert_eq!(good.validate(), Ok(16));
+
+        let mut zero_ips = good.clone();
+        zero_ips.instructions_per_ns = 0;
+        assert_eq!(zero_ips.validate(), Err(ConfigError::ZeroProcessorRate));
+
+        let mut zero_tick = good.clone();
+        zero_tick.timing.tick = Duration::ZERO;
+        assert_eq!(zero_tick.validate(), Err(ConfigError::ZeroTick));
+
+        let mut bad_cache = good;
+        bad_cache.cache.ways = 0;
+        assert!(matches!(
+            bad_cache.validate(),
+            Err(ConfigError::BadCacheGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = TopologyKind::Torus {
+            width: 0,
+            height: 4,
+        }
+        .validate()
+        .unwrap_err();
+        assert!(e.to_string().contains("width >= 2"), "{e}");
+        let e = ConfigError::TooManyNodes {
+            nodes: 70_000,
+            max: 65_535,
+        };
+        assert!(e.to_string().contains("70000"), "{e}");
     }
 }

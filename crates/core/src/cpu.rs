@@ -118,10 +118,10 @@ mod tests {
     use tss_proto::Block;
 
     fn items(v: Vec<(u64, CpuOp)>) -> Box<dyn Iterator<Item = TraceItem> + Send> {
-        Box::new(
-            v.into_iter()
-                .map(|(gap_instructions, op)| TraceItem { gap_instructions, op }),
-        )
+        Box::new(v.into_iter().map(|(gap_instructions, op)| TraceItem {
+            gap_instructions,
+            op,
+        }))
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! The declarative experiment API: define a grid of
+//! {protocol × topology × workload × seed} axes, run every cell in
+//! parallel under the §4.3 perturbation methodology, and get a stable,
+//! serializable [`GridReport`] back.
+//!
+//! The paper's whole evaluation is a grid — Figures 3/4 are
+//! {TS-Snoop, DirClassic, DirOpt} × {butterfly, torus} × five workloads —
+//! and Tardis-style timestamp protocols live or die by systematic sweeps,
+//! so this module makes the grid the first-class object: every bench
+//! binary, example, and integration test plugs a [`ExperimentGrid`] (or a
+//! hand-assembled [`GridReport`]) into the same JSON schema.
+//!
+//! ```
+//! use tss::experiment::ExperimentGrid;
+//! use tss::{ProtocolKind, TopologyKind};
+//! use tss_workloads::paper;
+//!
+//! let report = ExperimentGrid::new("doc-demo")
+//!     .protocols([ProtocolKind::TsSnoop, ProtocolKind::DirOpt])
+//!     .topologies([TopologyKind::Torus4x4])
+//!     .workloads(vec![paper::barnes(0.001)])
+//!     .seeds([1])
+//!     .run()
+//!     .expect("valid grid");
+//! assert_eq!(report.cells.len(), 2);
+//! let json = report.to_json();
+//! let back = tss::experiment::GridReport::from_json(&json).unwrap();
+//! assert_eq!(back.cells.len(), 2);
+//! ```
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tss_proto::CacheConfig;
+use tss_workloads::WorkloadSpec;
+
+use crate::config::{ConfigError, ProtocolKind, SystemConfig, Timing, TopologyKind};
+use crate::methodology::min_over_perturbations;
+use crate::system::SystemStats;
+
+/// Version stamp of the [`GridReport`] JSON schema. Bump when a field is
+/// renamed, removed, or changes meaning; additions are backward-safe.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One measured cell of an experiment grid: the configuration echo plus
+/// everything the run recorded.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunReport {
+    /// Workload name (a [`WorkloadSpec::name`], possibly annotated by
+    /// ablation harnesses, e.g. `"OLTP[S=8]"`).
+    pub workload: String,
+    /// The protocol that ran.
+    pub protocol: ProtocolKind,
+    /// The fabric it ran on.
+    pub topology: TopologyKind,
+    /// Workload seed.
+    pub seed: u64,
+    /// §4.3 response-jitter bound (ns) applied to each run.
+    pub perturbation_ns: u64,
+    /// How many perturbed runs the reported minimum was taken over.
+    pub perturbation_runs: u64,
+    /// The minimum-runtime run's measurements.
+    pub stats: SystemStats,
+}
+
+impl RunReport {
+    /// Wraps stats measured outside an [`ExperimentGrid`] (latency
+    /// microbenchmarks, ablation sweeps) in the grid cell schema.
+    pub fn from_stats(
+        workload: impl Into<String>,
+        cfg: &SystemConfig,
+        perturbation_runs: u64,
+        stats: SystemStats,
+    ) -> RunReport {
+        RunReport {
+            workload: workload.into(),
+            protocol: cfg.protocol,
+            topology: cfg.topology,
+            seed: cfg.seed,
+            perturbation_ns: cfg.perturbation_ns,
+            perturbation_runs,
+            stats,
+        }
+    }
+
+    /// Simulated runtime in nanoseconds (Figure 3's quantity).
+    pub fn runtime_ns(&self) -> u64 {
+        self.stats.runtime.as_ns()
+    }
+
+    /// Total link-bytes over all classes (Figure 4's quantity).
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.traffic.total()
+    }
+
+    /// Fraction of misses served cache-to-cache (Table 3 "3-hop misses").
+    pub fn c2c_fraction(&self) -> f64 {
+        self.stats.c2c_fraction()
+    }
+}
+
+/// A complete, diffable experiment artifact: the grid definition echoed
+/// back plus one [`RunReport`] per cell, in deterministic
+/// workload-major → topology → protocol → seed order.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GridReport {
+    /// JSON schema version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// What produced this report (binary or experiment name).
+    pub name: String,
+    /// Protocol axis, in run order.
+    pub protocols: Vec<ProtocolKind>,
+    /// Topology axis, in run order.
+    pub topologies: Vec<TopologyKind>,
+    /// Workload axis (names), in run order.
+    pub workloads: Vec<String>,
+    /// Seed axis, in run order.
+    pub seeds: Vec<u64>,
+    /// §4.3 response-jitter bound (ns).
+    pub perturbation_ns: u64,
+    /// Perturbed runs per cell.
+    pub perturbation_runs: u64,
+    /// The measured cells.
+    pub cells: Vec<RunReport>,
+}
+
+impl GridReport {
+    /// Assembles a report from independently measured cells, deriving the
+    /// axis echoes from the cells themselves (first-seen order).
+    pub fn from_cells(name: impl Into<String>, cells: Vec<RunReport>) -> GridReport {
+        let mut protocols = Vec::new();
+        let mut topologies = Vec::new();
+        let mut workloads = Vec::new();
+        let mut seeds = Vec::new();
+        for c in &cells {
+            if !protocols.contains(&c.protocol) {
+                protocols.push(c.protocol);
+            }
+            if !topologies.contains(&c.topology) {
+                topologies.push(c.topology);
+            }
+            if !workloads.contains(&c.workload) {
+                workloads.push(c.workload.clone());
+            }
+            if !seeds.contains(&c.seed) {
+                seeds.push(c.seed);
+            }
+        }
+        let perturbation_ns = cells.first().map_or(0, |c| c.perturbation_ns);
+        let perturbation_runs = cells.first().map_or(1, |c| c.perturbation_runs);
+        GridReport {
+            schema: SCHEMA_VERSION,
+            name: name.into(),
+            protocols,
+            topologies,
+            workloads,
+            seeds,
+            perturbation_ns,
+            perturbation_runs,
+            cells,
+        }
+    }
+
+    /// Finds the cell for one (workload, topology, protocol) at the first
+    /// seed, if it was run.
+    pub fn cell(
+        &self,
+        workload: &str,
+        topology: TopologyKind,
+        protocol: ProtocolKind,
+    ) -> Option<&RunReport> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.topology == topology && c.protocol == protocol)
+    }
+
+    /// Renders the report as pretty JSON. Deterministic: the same grid run
+    /// with the same seeds produces byte-identical output.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(text: &str) -> Result<GridReport, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Writes pretty JSON (plus a trailing newline) to `path`, creating
+    /// parent directories as needed.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+/// A declarative grid of experiment axes — see the module docs.
+///
+/// Cells run in parallel (scoped threads, one queue, deterministic result
+/// order) and each cell applies the §4.3 min-over-perturbations
+/// methodology internally.
+#[derive(Debug, Clone)]
+pub struct ExperimentGrid {
+    name: String,
+    protocols: Vec<ProtocolKind>,
+    topologies: Vec<TopologyKind>,
+    workloads: Vec<WorkloadSpec>,
+    seeds: Vec<u64>,
+    perturbation_ns: u64,
+    perturbation_runs: u64,
+    timing: Timing,
+    cache: CacheConfig,
+    verify: bool,
+    threads: usize,
+}
+
+impl ExperimentGrid {
+    /// Starts a grid with the paper's fixed axes prefilled: all three
+    /// protocols, both Figure 2 topologies, seed 0, no perturbation, and
+    /// paper timing/caches. Workloads start empty and must be supplied.
+    pub fn new(name: impl Into<String>) -> ExperimentGrid {
+        ExperimentGrid {
+            name: name.into(),
+            protocols: ProtocolKind::ALL.to_vec(),
+            topologies: TopologyKind::PAPER.to_vec(),
+            workloads: Vec::new(),
+            seeds: vec![0],
+            perturbation_ns: 0,
+            perturbation_runs: 1,
+            timing: Timing::default(),
+            cache: CacheConfig::paper_default(),
+            verify: false,
+            threads: 0,
+        }
+    }
+
+    /// Replaces the protocol axis.
+    pub fn protocols(mut self, protocols: impl IntoIterator<Item = ProtocolKind>) -> Self {
+        self.protocols = protocols.into_iter().collect();
+        self
+    }
+
+    /// Replaces the topology axis.
+    pub fn topologies(mut self, topologies: impl IntoIterator<Item = TopologyKind>) -> Self {
+        self.topologies = topologies.into_iter().collect();
+        self
+    }
+
+    /// Replaces the workload axis.
+    pub fn workloads(mut self, workloads: Vec<WorkloadSpec>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Replaces the seed axis (one grid pass per seed).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the §4.3 methodology: jitter bound and number of perturbed
+    /// runs per cell (the reported stats are the minimum-runtime run's).
+    pub fn perturbation(mut self, ns: u64, runs: u64) -> Self {
+        self.perturbation_ns = ns;
+        self.perturbation_runs = runs;
+        self
+    }
+
+    /// Overrides Table 2 timing for every cell.
+    pub fn timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Overrides the L2 geometry for every cell.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Runs every cell with the coherence checker on (slower; tests).
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Caps worker threads (0 = one per available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of cells this grid will run.
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len() * self.topologies.len() * self.protocols.len() * self.seeds.len()
+    }
+
+    /// Validates the axes, runs every cell (in parallel), and reports.
+    ///
+    /// Validation is all-up-front: no simulation starts unless every cell
+    /// of the grid is well-formed, so a typo in one axis cannot waste a
+    /// half-finished sweep.
+    pub fn run(self) -> Result<GridReport, ConfigError> {
+        for (axis, empty) in [
+            ("protocols", self.protocols.is_empty()),
+            ("topologies", self.topologies.is_empty()),
+            ("workloads", self.workloads.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+        ] {
+            if empty {
+                return Err(ConfigError::EmptyAxis { axis });
+            }
+        }
+        if self.perturbation_runs == 0 {
+            return Err(ConfigError::ZeroPerturbationRuns);
+        }
+
+        // Deterministic cell order: workload-major, then topology,
+        // protocol, seed — the order the paper's figures read in.
+        let mut plans: Vec<(usize, SystemConfig, &WorkloadSpec)> = Vec::new();
+        for spec in &self.workloads {
+            for &topology in &self.topologies {
+                for &protocol in &self.protocols {
+                    for &seed in &self.seeds {
+                        let cfg = SystemConfig {
+                            protocol,
+                            topology,
+                            cache: self.cache,
+                            timing: self.timing,
+                            instructions_per_ns: 4,
+                            perturbation_ns: self.perturbation_ns,
+                            perturbation_stream: 0,
+                            seed,
+                            verify: self.verify,
+                            record_observations: false,
+                        };
+                        plans.push((plans.len(), cfg, spec));
+                    }
+                }
+            }
+        }
+        // Fail fast on any invalid cell before simulating anything.
+        for (_, cfg, spec) in &plans {
+            cfg.validate()?;
+            crate::builder::validate_workload(spec)?;
+        }
+
+        let runs = self.perturbation_runs;
+        let slots: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; plans.len()]);
+        let cursor = AtomicUsize::new(0);
+        let workers = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+        .min(plans.len())
+        .max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((slot, cfg, spec)) = plans.get(i) else {
+                        break;
+                    };
+                    let stats = min_over_perturbations(cfg, spec, runs);
+                    let report = RunReport::from_stats(spec.name.clone(), cfg, runs, stats);
+                    slots.lock().expect("no worker panicked holding the lock")[*slot] =
+                        Some(report);
+                });
+            }
+        });
+
+        let cells: Vec<RunReport> = slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|c| c.expect("every cell ran"))
+            .collect();
+
+        Ok(GridReport {
+            schema: SCHEMA_VERSION,
+            name: self.name,
+            protocols: self.protocols,
+            topologies: self.topologies,
+            workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
+            seeds: self.seeds,
+            perturbation_ns: self.perturbation_ns,
+            perturbation_runs: self.perturbation_runs,
+            cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tss_workloads::paper;
+
+    fn tiny_grid() -> ExperimentGrid {
+        ExperimentGrid::new("unit")
+            .protocols([ProtocolKind::TsSnoop, ProtocolKind::DirOpt])
+            .topologies([TopologyKind::Torus4x4])
+            .workloads(vec![paper::barnes(0.001)])
+            .seeds([1])
+            .cache(CacheConfig::tiny(512, 4))
+    }
+
+    #[test]
+    fn grid_runs_every_cell_in_order() {
+        let report = tiny_grid().run().unwrap();
+        assert_eq!(report.schema, SCHEMA_VERSION);
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].protocol, ProtocolKind::TsSnoop);
+        assert_eq!(report.cells[1].protocol, ProtocolKind::DirOpt);
+        for c in &report.cells {
+            assert!(c.stats.protocol.misses > 0);
+            assert!(c.runtime_ns() > 0);
+        }
+        assert!(report
+            .cell("Barnes", TopologyKind::Torus4x4, ProtocolKind::DirOpt)
+            .is_some());
+    }
+
+    #[test]
+    fn grid_is_deterministic_across_thread_counts() {
+        let a = tiny_grid().threads(1).run().unwrap();
+        let b = tiny_grid().threads(4).run().unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn grid_rejects_empty_axes() {
+        let err = ExperimentGrid::new("e").run().unwrap_err();
+        assert_eq!(err, ConfigError::EmptyAxis { axis: "workloads" });
+        let err = tiny_grid().protocols([]).run().unwrap_err();
+        assert_eq!(err, ConfigError::EmptyAxis { axis: "protocols" });
+        let err = tiny_grid().seeds([]).run().unwrap_err();
+        assert_eq!(err, ConfigError::EmptyAxis { axis: "seeds" });
+    }
+
+    #[test]
+    fn grid_rejects_invalid_cells_before_running() {
+        let err = tiny_grid()
+            .topologies([TopologyKind::Torus {
+                width: 0,
+                height: 3,
+            }])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::DegenerateTopology { .. }));
+        let err = tiny_grid().perturbation(4, 0).run().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPerturbationRuns);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = tiny_grid().run().unwrap();
+        let json = report.to_json();
+        let back = GridReport::from_json(&json).unwrap();
+        assert_eq!(back.to_json(), json);
+        assert_eq!(back.cells.len(), report.cells.len());
+        assert_eq!(
+            back.cells[0].stats.protocol.misses,
+            report.cells[0].stats.protocol.misses
+        );
+    }
+
+    #[test]
+    fn from_cells_derives_axes() {
+        let report = tiny_grid().run().unwrap();
+        let rebuilt = GridReport::from_cells("rebuilt", report.cells.clone());
+        assert_eq!(
+            rebuilt.protocols,
+            vec![ProtocolKind::TsSnoop, ProtocolKind::DirOpt]
+        );
+        assert_eq!(rebuilt.topologies, vec![TopologyKind::Torus4x4]);
+        assert_eq!(rebuilt.workloads, vec!["Barnes".to_string()]);
+        assert_eq!(rebuilt.seeds, vec![1]);
+    }
+}

@@ -22,29 +22,55 @@
 //!
 //! # Quick start
 //!
+//! One system, built and validated fluently:
+//!
 //! ```
-//! use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+//! use tss::{ProtocolKind, System, TopologyKind};
 //! use tss_workloads::paper;
 //!
 //! // A 16-node torus running TS-Snoop on a small DSS-like workload.
-//! let mut cfg = SystemConfig::paper_default(ProtocolKind::TsSnoop, TopologyKind::Torus4x4);
-//! cfg.verify = true;
-//! let result = System::run_workload(cfg, &paper::dss(0.001));
+//! let result = System::builder()
+//!     .protocol(ProtocolKind::TsSnoop)
+//!     .topology(TopologyKind::Torus4x4)
+//!     .workload(paper::dss(0.001))
+//!     .verify(true)
+//!     .build()
+//!     .expect("valid paper configuration")
+//!     .run();
 //! println!("runtime: {} for {} misses ({:.0}% cache-to-cache)",
 //!          result.stats.runtime,
 //!          result.stats.protocol.misses,
 //!          100.0 * result.stats.c2c_fraction());
+//! ```
+//!
+//! A whole evaluation grid, run in parallel with the §4.3 methodology and
+//! serialized to a diffable JSON artifact:
+//!
+//! ```no_run
+//! use tss::experiment::ExperimentGrid;
+//! use tss_workloads::paper;
+//!
+//! let report = ExperimentGrid::new("figure3")
+//!     .workloads(paper::all(1.0 / 64.0))
+//!     .perturbation(4, 3)
+//!     .run()
+//!     .expect("valid grid");
+//! report.write_json("results/figure3.json").expect("writable path");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analytic;
+mod builder;
 mod config;
 mod cpu;
+pub mod experiment;
 pub mod methodology;
 mod system;
 
-pub use config::{ProtocolKind, SystemConfig, Timing, TopologyKind};
+pub use builder::SystemBuilder;
+pub use config::{ConfigError, ProtocolKind, SystemConfig, Timing, TopologyKind};
 pub use cpu::Cpu;
+pub use experiment::{ExperimentGrid, GridReport, RunReport};
 pub use system::{RunResult, System, SystemStats, TrafficSummary};

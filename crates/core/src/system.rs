@@ -12,8 +12,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use tss_net::{
-    FastOrderedNet, MsgClass, NodeId, OrderedNetTiming, TrafficLedger, UnicastNet,
-    VnetOrdering,
+    FastOrderedNet, MsgClass, NodeId, OrderedNetTiming, TrafficLedger, UnicastNet, VnetOrdering,
 };
 use tss_proto::{
     AddrTxn, Block, CpuOp, DirClassic, DirOpt, DirTiming, Msg, ProtoAction, ProtoEvent, Protocol,
@@ -28,7 +27,7 @@ use crate::config::{ProtocolKind, SystemConfig};
 use crate::cpu::Cpu;
 
 /// Per-class traffic totals (the Figure 4 quantities).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 pub struct TrafficSummary {
     /// Data-class bytes summed over all links.
     pub data_bytes: u64,
@@ -63,7 +62,7 @@ impl TrafficSummary {
 }
 
 /// Everything a run measures.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SystemStats {
     /// Wall-clock of the simulated execution: the instant the last CPU
     /// retired its final operation (Figure 3's quantity).
@@ -153,6 +152,26 @@ impl std::fmt::Debug for System {
 }
 
 impl System {
+    /// Starts a fluent, validated [`crate::SystemBuilder`] — the public
+    /// construction path; see the builder docs for the full surface.
+    ///
+    /// ```
+    /// use tss::{ProtocolKind, System, TopologyKind};
+    /// use tss_workloads::micro;
+    ///
+    /// let result = System::builder()
+    ///     .protocol(ProtocolKind::TsSnoop)
+    ///     .topology(TopologyKind::Torus4x4)
+    ///     .traces(micro::ping_pong(50, 40))
+    ///     .build()
+    ///     .expect("valid config")
+    ///     .run();
+    /// assert!(result.stats.c2c_fraction() > 0.9);
+    /// ```
+    pub fn builder() -> crate::builder::SystemBuilder {
+        crate::builder::SystemBuilder::new()
+    }
+
     /// Builds a system and runs the given per-CPU traces to completion.
     ///
     /// # Panics
@@ -160,10 +179,7 @@ impl System {
     /// Panics if the trace count does not match the topology's node count,
     /// if the system deadlocks, or (with verification on) if a coherence
     /// invariant is violated.
-    pub fn run_traces(
-        cfg: SystemConfig,
-        traces: Vec<Vec<TraceItem>>,
-    ) -> RunResult {
+    pub fn run_traces(cfg: SystemConfig, traces: Vec<Vec<TraceItem>>) -> RunResult {
         let boxed: Vec<Box<dyn Iterator<Item = TraceItem> + Send>> = traces
             .into_iter()
             .map(|t| Box::new(t.into_iter()) as Box<dyn Iterator<Item = TraceItem> + Send>)
@@ -216,13 +232,19 @@ impl System {
             ProtocolKind::DirClassic => Box::new(DirClassic::new(
                 n,
                 cfg.cache,
-                DirTiming { d_mem: cfg.timing.d_mem, d_cache: cfg.timing.d_cache },
+                DirTiming {
+                    d_mem: cfg.timing.d_mem,
+                    d_cache: cfg.timing.d_cache,
+                },
                 cfg.verify,
             )),
             ProtocolKind::DirOpt => Box::new(DirOpt::new(
                 n,
                 cfg.cache,
-                DirTiming { d_mem: cfg.timing.d_mem, d_cache: cfg.timing.d_cache },
+                DirTiming {
+                    d_mem: cfg.timing.d_mem,
+                    d_cache: cfg.timing.d_cache,
+                },
                 cfg.verify,
             )),
         };
@@ -261,7 +283,11 @@ impl System {
             .map(|t| Cpu::new(t, cfg.instructions_per_ns))
             .collect();
 
-        let jitter_rng = SimRng::from_seed_and_stream(cfg.seed, 0xFEED);
+        // The jitter stream is independent of the workload streams (which
+        // key off the seed alone), and selectable via perturbation_stream
+        // so §4.3 replays can vary the noise without moving the workload.
+        let jitter_rng =
+            SimRng::from_seed_and_stream(cfg.seed, 0xFEED ^ (cfg.perturbation_stream << 16));
         let observations = (0..n).map(|_| Vec::new()).collect();
 
         System {
@@ -325,7 +351,8 @@ impl System {
         }
 
         assert_eq!(
-            self.finished, self.n,
+            self.finished,
+            self.n,
             "system deadlocked: {} of {} CPUs finished, blocked: {:?}",
             self.finished,
             self.n,
@@ -360,7 +387,10 @@ impl System {
             miss_latency_per_node: self.miss_latency_per_node,
             events_processed: self.events.events_processed(),
         };
-        RunResult { stats, observations: self.observations }
+        RunResult {
+            stats,
+            observations: self.observations,
+        }
     }
 
     fn process_actions(&mut self, now: Time, actions: Vec<ProtoAction>) {
@@ -371,7 +401,13 @@ impl System {
                     let ready = addr.inject(now, src, txn);
                     self.events.schedule(ready, Ev::AddrDrain);
                 }
-                ProtoAction::Send { src, dst, msg, vnet, delay } => {
+                ProtoAction::Send {
+                    src,
+                    dst,
+                    msg,
+                    vnet,
+                    delay,
+                } => {
                     let jitter = if self.cfg.perturbation_ns > 0 {
                         Duration::from_ns(
                             self.jitter_rng.gen_range(0..self.cfg.perturbation_ns + 1),
@@ -397,9 +433,7 @@ impl System {
                         self.observations[node.index()].push((op, value));
                     }
                     match self.cpus[node.index()].advance(now) {
-                        Some((at, op)) => {
-                            self.events.schedule(at, Ev::Issue { cpu: node.0, op })
-                        }
+                        Some((at, op)) => self.events.schedule(at, Ev::Issue { cpu: node.0, op }),
                         None => {
                             self.finished += 1;
                             if now > self.runtime {
@@ -428,14 +462,15 @@ mod tests {
         for p in ProtocolKind::ALL {
             // 500 ns between issues — longer than any handoff, so the two
             // CPUs strictly alternate ownership and every RMW misses.
-            let r = System::run_traces(
-                cfg(p, TopologyKind::Torus4x4),
-                micro::ping_pong(100, 2000),
-            );
+            let r = System::run_traces(cfg(p, TopologyKind::Torus4x4), micro::ping_pong(100, 2000));
             assert_eq!(r.stats.protocol.misses + r.stats.protocol.hits, 200, "{p}");
             // At least one side loses its copy every round (phase races
             // can let the other side keep winning and hit).
-            assert!(r.stats.protocol.misses >= 100, "{p}: {}", r.stats.protocol.misses);
+            assert!(
+                r.stats.protocol.misses >= 100,
+                "{p}: {}",
+                r.stats.protocol.misses
+            );
             // Only the very first miss is served by memory: the second
             // CPU's cold miss already finds the first CPU owning the block.
             assert_eq!(

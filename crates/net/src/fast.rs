@@ -266,8 +266,7 @@ impl<P> FastOrderedNet<P> {
                  (arrival {arrival:?} > ordered {ordered_at:?})"
             );
             self.residency.record(ordered_at.since(arrival));
-            self.depth_at_insert
-                .record(self.queues[dest].len() as u64);
+            self.depth_at_insert.record(self.queues[dest].len() as u64);
             self.queues[dest].push(Reverse(Pending {
                 ot,
                 src,
@@ -376,12 +375,13 @@ mod tests {
     #[test]
     fn all_endpoints_get_every_transaction_in_total_order() {
         let mut n = net(Fabric::torus4x4());
-        let mut deadlines = Vec::new();
         // Interleave injections from several sources.
-        deadlines.push(n.inject(Time::from_ns(5), NodeId(3), 30));
-        deadlines.push(n.inject(Time::from_ns(5), NodeId(1), 10));
-        deadlines.push(n.inject(Time::from_ns(7), NodeId(1), 11));
-        deadlines.push(n.inject(Time::from_ns(60), NodeId(9), 90));
+        let deadlines = [
+            n.inject(Time::from_ns(5), NodeId(3), 30),
+            n.inject(Time::from_ns(5), NodeId(1), 10),
+            n.inject(Time::from_ns(7), NodeId(1), 11),
+            n.inject(Time::from_ns(60), NodeId(9), 90),
+        ];
         let last = *deadlines.iter().max().unwrap();
         let deliveries = n.drain(last);
         assert_eq!(deliveries.len(), 4 * 16);

@@ -72,7 +72,7 @@ impl Vertex {
     /// nodes, returns its [`NodeId`].
     #[inline]
     pub fn as_node(self, num_nodes: usize) -> Option<NodeId> {
-        (self.index() < num_nodes).then(|| NodeId(self.0 as u16))
+        (self.index() < num_nodes).then_some(NodeId(self.0 as u16))
     }
 }
 

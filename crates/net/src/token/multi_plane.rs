@@ -90,12 +90,7 @@ impl<P> MultiPlaneNet<P> {
     /// `cfg` is ignored (each plane gets its own index).
     pub fn new(fabric: Arc<Fabric>, cfg: DetailedNetConfig) -> Self {
         let planes = (0..fabric.planes())
-            .map(|p| {
-                DetailedNet::new(
-                    Arc::clone(&fabric),
-                    DetailedNetConfig { plane: p, ..cfg },
-                )
-            })
+            .map(|p| DetailedNet::new(Arc::clone(&fabric), DetailedNetConfig { plane: p, ..cfg }))
             .collect();
         let n = fabric.num_nodes();
         MultiPlaneNet {

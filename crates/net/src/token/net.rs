@@ -210,7 +210,10 @@ impl<P> DetailedNet<P> {
     /// Panics if `cfg.plane` is out of range for `fabric`.
     pub fn new(fabric: Arc<Fabric>, cfg: DetailedNetConfig) -> Self {
         assert!(cfg.plane < fabric.planes(), "plane out of range");
-        assert!(cfg.link_latency.as_ns() > 0, "link latency must be positive");
+        assert!(
+            cfg.link_latency.as_ns() > 0,
+            "link latency must be positive"
+        );
         let nv = fabric.num_nodes() + fabric.num_switches();
         let mut vertex_in_links: Vec<Vec<LinkId>> = vec![Vec::new(); nv];
         let mut vertex_out_links: Vec<Vec<LinkId>> = vec![Vec::new(); nv];
@@ -404,13 +407,15 @@ impl<P> DetailedNet<P> {
              (gt {gt} + slack {} != OT {})",
             ft.slack, ft.ot
         );
-        self.endpoints[node.index()].reorder.push(Reverse(ReorderEntry {
-            ot: ft.ot,
-            src: ft.src,
-            seq: ft.seq,
-            arrival: self.now,
-            payload: ft.payload,
-        }));
+        self.endpoints[node.index()]
+            .reorder
+            .push(Reverse(ReorderEntry {
+                ot: ft.ot,
+                src: ft.src,
+                seq: ft.seq,
+                arrival: self.now,
+                payload: ft.payload,
+            }));
     }
 
     /// Processes every queued transaction whose ordering tick has *closed*.
@@ -425,10 +430,10 @@ impl<P> DetailedNet<P> {
     fn drain_reorder(&mut self, node: NodeId) {
         let gt = self.core_ref(Vertex::node(node)).gt();
         loop {
-            let ready = match self.endpoints[node.index()].reorder.peek() {
-                Some(Reverse(top)) if top.ot < gt => true,
-                _ => false,
-            };
+            let ready = matches!(
+                self.endpoints[node.index()].reorder.peek(),
+                Some(Reverse(top)) if top.ot < gt
+            );
             if !ready {
                 break;
             }
@@ -442,7 +447,8 @@ impl<P> DetailedNet<P> {
                 "transaction missed its batch at {node}: OT {} but GT already {gt}",
                 e.ot
             );
-            self.ordering_delay.record(self.now.saturating_since(e.arrival));
+            self.ordering_delay
+                .record(self.now.saturating_since(e.arrival));
             self.processed += 1;
             self.deliveries.push(DetailedDelivery {
                 dest: node,
@@ -480,10 +486,13 @@ impl<P> DetailedNet<P> {
             ft.slack += delta_d; // rule 3
             let at = self.now + self.cfg.link_latency;
             self.next_free[li] = self.now + self.cfg.link_occupancy;
-            self.events.schedule(at, Ev::Deliver {
-                link,
-                item: Item::Txn(ft),
-            });
+            self.events.schedule(
+                at,
+                Ev::Deliver {
+                    link,
+                    item: Item::Txn(ft),
+                },
+            );
         } else {
             let out_port = self.out_port_idx[li] as usize;
             let slack = ft.slack;
@@ -512,10 +521,13 @@ impl<P> DetailedNet<P> {
         if let Some((slack, ft)) = self.core(from).pop_sendable(out_port) {
             let at = self.now + self.cfg.link_latency;
             self.next_free[li] = self.now + self.cfg.link_occupancy;
-            self.events.schedule(at, Ev::Deliver {
-                link,
-                item: Item::Txn(FlightTxn { slack, ..ft }),
-            });
+            self.events.schedule(
+                at,
+                Ev::Deliver {
+                    link,
+                    item: Item::Txn(FlightTxn { slack, ..ft }),
+                },
+            );
             if self.core_ref(from).queued(out_port) > 0 && !self.free_scheduled[li] {
                 self.free_scheduled[li] = true;
                 let at = self.next_free[li];
@@ -544,10 +556,13 @@ impl<P> DetailedNet<P> {
             for i in 0..self.vertex_out_links[v.index()].len() {
                 let link = self.vertex_out_links[v.index()][i];
                 let at = self.now + self.cfg.link_latency;
-                self.events.schedule(at, Ev::Deliver {
-                    link,
-                    item: Item::Token,
-                });
+                self.events.schedule(
+                    at,
+                    Ev::Deliver {
+                        link,
+                        item: Item::Token,
+                    },
+                );
             }
         }
         if let Some(node) = v.as_node(self.fabric.num_nodes()) {

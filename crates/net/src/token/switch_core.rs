@@ -116,11 +116,7 @@ impl<T> SwitchCore<T> {
     /// token and no buffered transaction has zero slack.
     pub fn can_propagate(&self) -> bool {
         self.token_count.iter().all(|&c| c > 0)
-            && self
-                .out_bufs
-                .iter()
-                .flatten()
-                .all(|e| e.slack > 0)
+            && self.out_bufs.iter().flatten().all(|e| e.slack > 0)
     }
 
     /// Propagates one token if possible (rule 2), returning whether it

@@ -390,21 +390,20 @@ impl Fabric {
         }
 
         // Destination nodes must all be reached.
-        for n in 0..self.num_nodes {
+        for (n, depth) in depth_links.iter().enumerate().take(self.num_nodes) {
             assert!(
-                n == src.index() || depth_links[n] != u32::MAX,
+                n == src.index() || *depth != u32::MAX,
                 "fabric is not broadcast-connected from {src} (plane {plane})"
             );
         }
-        let root_return = root_return
-            .expect("fabric cannot re-deliver a broadcast to its source");
+        let root_return = root_return.expect("fabric cannot re-deliver a broadcast to its source");
 
         // Unicast routes: union of root-to-node parent paths.
         let mut in_tree = vec![false; num_vertices];
         in_tree[root.index()] = true;
         let mut routes: Vec<Vec<LinkId>> = Vec::with_capacity(self.num_nodes);
         let mut dists = vec![0u32; self.num_nodes];
-        for n in 0..self.num_nodes {
+        for (n, dist) in dists.iter_mut().enumerate() {
             if n == src.index() {
                 // Self unicast is local: no links, distance 0.
                 routes.push(Vec::new());
@@ -419,7 +418,7 @@ impl Fabric {
                 in_tree[v.index()] = true;
             }
             path.reverse();
-            dists[n] = path
+            *dist = path
                 .iter()
                 .map(|l| self.links[l.index()].weight)
                 .sum::<u32>();
@@ -449,7 +448,10 @@ impl Fabric {
                     && parent_edge[to] == Some(lid);
                 if is_tree_child || lid == root_return {
                     out_edges[v].push(edges.len() as u32);
-                    edges.push(TreeEdge { link: lid, delta_d: 0 });
+                    edges.push(TreeEdge {
+                        link: lid,
+                        delta_d: 0,
+                    });
                 }
             }
         }
@@ -673,7 +675,10 @@ mod tests {
         // Distances are symmetric.
         for a in 0..16 {
             for b in 0..16 {
-                assert_eq!(f.distance(NodeId(a), NodeId(b)), f.distance(NodeId(b), NodeId(a)));
+                assert_eq!(
+                    f.distance(NodeId(a), NodeId(b)),
+                    f.distance(NodeId(b), NodeId(a))
+                );
             }
         }
     }
@@ -684,10 +689,7 @@ mod tests {
         for a in 0..16u16 {
             for b in 0..16u16 {
                 let route = f.unicast_links(0, NodeId(a), NodeId(b));
-                let weighted: u32 = route
-                    .iter()
-                    .map(|l| f.links()[l.index()].weight)
-                    .sum();
+                let weighted: u32 = route.iter().map(|l| f.links()[l.index()].weight).sum();
                 assert_eq!(weighted, f.distance(NodeId(a), NodeId(b)));
                 if a == b {
                     assert!(route.is_empty());
@@ -708,9 +710,7 @@ mod tests {
                     } else {
                         assert_eq!(route.len(), 3);
                         // Route stays within the requested plane.
-                        assert!(route
-                            .iter()
-                            .all(|l| f.links()[l.index()].plane == p as u32));
+                        assert!(route.iter().all(|l| f.links()[l.index()].plane == p as u32));
                     }
                 }
             }

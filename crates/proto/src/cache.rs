@@ -18,7 +18,7 @@ pub enum CacheState {
 }
 
 /// Geometry of an L2 cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheConfig {
     /// Total capacity in bytes (paper: 4 MiB).
     pub capacity_bytes: u64,
@@ -272,7 +272,14 @@ mod tests {
         let mut c = L2Cache::new(CacheConfig::tiny(1, 1));
         c.fill(Block(0), CacheState::Modified, 42, None);
         let v = c.fill(Block(64), CacheState::Shared, 0, None).unwrap();
-        assert_eq!(v, Victim { block: Block(0), dirty: true, value: 42 });
+        assert_eq!(
+            v,
+            Victim {
+                block: Block(0),
+                dirty: true,
+                value: 42
+            }
+        );
     }
 
     #[test]
@@ -282,7 +289,9 @@ mod tests {
         c.fill(Block(64), CacheState::Shared, 2, None);
         c.touch(Block(64));
         c.touch(Block(0)); // 64 is LRU...
-        let v = c.fill(Block(128), CacheState::Shared, 3, Some(Block(64))).unwrap();
+        let v = c
+            .fill(Block(128), CacheState::Shared, 3, Some(Block(64)))
+            .unwrap();
         // ...but 64 is protected, so 0 goes instead.
         assert_eq!(v.block, Block(0));
     }

@@ -22,7 +22,7 @@ use tss_sim::{Duration, Time};
 
 use crate::cache::{CacheConfig, CacheState, L2Cache};
 use crate::types::{
-    Block, CpuOp, Msg, Protocol, ProtoAction, ProtoEvent, ProtocolStats, TxnKind, Vnet,
+    Block, CpuOp, Msg, ProtoAction, ProtoEvent, Protocol, ProtocolStats, TxnKind, Vnet,
 };
 use crate::verify::ValueChecker;
 
@@ -55,15 +55,9 @@ enum DirState {
     /// One cache owns a modified copy; memory is stale.
     Exclusive(NodeId),
     /// A forwarded GetS to `owner` is in flight on behalf of `requester`.
-    BusyShared {
-        owner: NodeId,
-        requester: NodeId,
-    },
+    BusyShared { owner: NodeId, requester: NodeId },
     /// A forwarded GetM to `owner` is in flight on behalf of `requester`.
-    BusyExclusive {
-        owner: NodeId,
-        requester: NodeId,
-    },
+    BusyExclusive { owner: NodeId, requester: NodeId },
 }
 
 #[derive(Debug)]
@@ -149,7 +143,10 @@ fn bit(n: NodeId) -> u64 {
 impl DirClassic {
     /// Creates the engine for `n` nodes (at most 64: full bit vector).
     pub fn new(n: usize, cache: CacheConfig, timing: DirTiming, verify: bool) -> Self {
-        assert!(n <= 64, "full-bit-vector directory supports at most 64 nodes");
+        assert!(
+            n <= 64,
+            "full-bit-vector directory supports at most 64 nodes"
+        );
         DirClassic {
             n,
             nodes: (0..n)
@@ -179,11 +176,22 @@ impl DirClassic {
         vnet: Vnet,
         delay: Duration,
     ) {
-        out.push(ProtoAction::Send { src, dst, msg, vnet, delay });
+        out.push(ProtoAction::Send {
+            src,
+            dst,
+            msg,
+            vnet,
+            delay,
+        });
     }
 
     fn data_msg(block: Block, value: u64, acks: u32, from_cache: bool) -> Msg {
-        Msg::Data { block, value, acks_expected: acks, from_cache }
+        Msg::Data {
+            block,
+            value,
+            acks_expected: acks,
+            from_cache,
+        }
     }
 
     /// Directory processing of a request at the home node.
@@ -203,20 +211,41 @@ impl DirClassic {
                 DirState::Unowned => {
                     db.state = DirState::Shared(bit(r));
                     let v = db.value;
-                    Self::send(out, home, r, Self::data_msg(block, v, 0, false), Vnet::Data, d_mem);
+                    Self::send(
+                        out,
+                        home,
+                        r,
+                        Self::data_msg(block, v, 0, false),
+                        Vnet::Data,
+                        d_mem,
+                    );
                 }
                 DirState::Shared(s) => {
                     db.state = DirState::Shared(s | bit(r));
                     let v = db.value;
-                    Self::send(out, home, r, Self::data_msg(block, v, 0, false), Vnet::Data, d_mem);
+                    Self::send(
+                        out,
+                        home,
+                        r,
+                        Self::data_msg(block, v, 0, false),
+                        Vnet::Data,
+                        d_mem,
+                    );
                 }
                 DirState::Exclusive(o) => {
-                    db.state = DirState::BusyShared { owner: o, requester: r };
+                    db.state = DirState::BusyShared {
+                        owner: o,
+                        requester: r,
+                    };
                     Self::send(
                         out,
                         home,
                         o,
-                        Msg::Fwd { kind: TxnKind::GetS, block, requester: r },
+                        Msg::Fwd {
+                            kind: TxnKind::GetS,
+                            block,
+                            requester: r,
+                        },
                         Vnet::Forward,
                         d_mem,
                     );
@@ -229,7 +258,14 @@ impl DirClassic {
                 DirState::Unowned => {
                     db.state = DirState::Exclusive(r);
                     let v = db.value;
-                    Self::send(out, home, r, Self::data_msg(block, v, 0, false), Vnet::Data, d_mem);
+                    Self::send(
+                        out,
+                        home,
+                        r,
+                        Self::data_msg(block, v, 0, false),
+                        Vnet::Data,
+                        d_mem,
+                    );
                 }
                 DirState::Shared(s) => {
                     let others = s & !bit(r);
@@ -250,7 +286,10 @@ impl DirClassic {
                                 out,
                                 home,
                                 NodeId(i as u16),
-                                Msg::Inval { block, requester: r },
+                                Msg::Inval {
+                                    block,
+                                    requester: r,
+                                },
                                 Vnet::Forward,
                                 d_mem,
                             );
@@ -258,12 +297,19 @@ impl DirClassic {
                     }
                 }
                 DirState::Exclusive(o) => {
-                    db.state = DirState::BusyExclusive { owner: o, requester: r };
+                    db.state = DirState::BusyExclusive {
+                        owner: o,
+                        requester: r,
+                    };
                     Self::send(
                         out,
                         home,
                         o,
-                        Msg::Fwd { kind: TxnKind::GetM, block, requester: r },
+                        Msg::Fwd {
+                            kind: TxnKind::GetM,
+                            block,
+                            requester: r,
+                        },
                         Vnet::Forward,
                         d_mem,
                     );
@@ -280,7 +326,10 @@ impl DirClassic {
                         out,
                         home,
                         r,
-                        Msg::PutAck { block, accepted: true },
+                        Msg::PutAck {
+                            block,
+                            accepted: true,
+                        },
                         Vnet::Data,
                         d_mem,
                     );
@@ -299,7 +348,10 @@ impl DirClassic {
                         out,
                         home,
                         r,
-                        Msg::PutAck { block, accepted: false },
+                        Msg::PutAck {
+                            block,
+                            accepted: false,
+                        },
                         Vnet::Data,
                         d_mem,
                     );
@@ -359,7 +411,10 @@ impl DirClassic {
                             out,
                             me,
                             home,
-                            Msg::Transfer { block, new_owner: r },
+                            Msg::Transfer {
+                                block,
+                                new_owner: r,
+                            },
                             Vnet::Data,
                             d_cache,
                         ),
@@ -383,7 +438,9 @@ impl DirClassic {
                 );
                 match kind {
                     TxnKind::GetS => {
-                        self.nodes[me.index()].cache.set_state(block, CacheState::Shared);
+                        self.nodes[me.index()]
+                            .cache
+                            .set_state(block, CacheState::Shared);
                         Self::send(
                             out,
                             me,
@@ -399,7 +456,10 @@ impl DirClassic {
                             out,
                             me,
                             home,
-                            Msg::Transfer { block, new_owner: r },
+                            Msg::Transfer {
+                                block,
+                                new_owner: r,
+                            },
                             Vnet::Data,
                             d_cache,
                         );
@@ -424,7 +484,9 @@ impl DirClassic {
     fn try_complete(&mut self, me: NodeId, out: &mut Vec<ProtoAction>) {
         let node = &mut self.nodes[me.index()];
         let m = node.mshr.as_mut().expect("completion without mshr");
-        let Some((value, from_cache)) = m.data else { return };
+        let Some((value, from_cache)) = m.data else {
+            return;
+        };
         let need = m.acks_expected.unwrap_or(0);
         if m.acks_got < need {
             return;
@@ -476,7 +538,10 @@ impl DirClassic {
                     .wb
                     .entry(v.block)
                     .or_default()
-                    .push_back(WbEntry { state: WbState::MiA, value: v.value });
+                    .push_back(WbEntry {
+                        state: WbState::MiA,
+                        value: v.value,
+                    });
                 Self::send(
                     out,
                     me,
@@ -523,7 +588,11 @@ impl Protocol for DirClassic {
             }
             (op, _) => {
                 self.stats.misses += 1;
-                let kind = if op.is_write() { TxnKind::GetM } else { TxnKind::GetS };
+                let kind = if op.is_write() {
+                    TxnKind::GetM
+                } else {
+                    TxnKind::GetS
+                };
                 self.nodes[node.index()].mshr = Some(Mshr {
                     block,
                     op,
@@ -537,7 +606,12 @@ impl Protocol for DirClassic {
                     out,
                     node,
                     block.home(self.n),
-                    Msg::DirReq { kind, block, requester: node, value: 0 },
+                    Msg::DirReq {
+                        kind,
+                        block,
+                        requester: node,
+                        value: 0,
+                    },
                     Vnet::Request,
                     Duration::ZERO,
                 );
@@ -550,11 +624,21 @@ impl Protocol for DirClassic {
             panic!("DirClassic does not snoop");
         };
         match msg {
-            Msg::DirReq { kind, block, requester, value } => {
+            Msg::DirReq {
+                kind,
+                block,
+                requester,
+                value,
+            } => {
                 debug_assert_eq!(me, block.home(self.n));
                 self.dir_request(me, kind, block, requester, value, out);
             }
-            Msg::Data { block, value, acks_expected, from_cache } => {
+            Msg::Data {
+                block,
+                value,
+                acks_expected,
+                from_cache,
+            } => {
                 let m = self.nodes[me.index()].mshr.as_mut().expect("stray data");
                 assert_eq!(m.block, block);
                 m.data = Some((value, from_cache));
@@ -593,19 +677,31 @@ impl Protocol for DirClassic {
                     Duration::ZERO,
                 );
             }
-            Msg::Fwd { kind, block, requester } => {
+            Msg::Fwd {
+                kind,
+                block,
+                requester,
+            } => {
                 self.fwd_at_cache(me, kind, block, requester, out);
             }
             Msg::Nack { kind, block } => {
                 self.stats.nacks += 1;
                 self.stats.retries += 1;
-                let m = self.nodes[me.index()].mshr.as_ref().expect("nack without mshr");
+                let m = self.nodes[me.index()]
+                    .mshr
+                    .as_ref()
+                    .expect("nack without mshr");
                 assert_eq!(m.block, block);
                 Self::send(
                     out,
                     me,
                     block.home(self.n),
-                    Msg::DirReq { kind, block, requester: me, value: 0 },
+                    Msg::DirReq {
+                        kind,
+                        block,
+                        requester: me,
+                        value: 0,
+                    },
                     Vnet::Request,
                     Duration::ZERO,
                 );
@@ -681,12 +777,21 @@ mod tests {
     use super::*;
 
     fn engine(n: usize) -> DirClassic {
-        DirClassic::new(n, CacheConfig::tiny(16, 2), DirTiming::paper_default(), true)
+        DirClassic::new(
+            n,
+            CacheConfig::tiny(16, 2),
+            DirTiming::paper_default(),
+            true,
+        )
     }
 
     fn deliver(p: &mut DirClassic, dst: NodeId, msg: Msg) -> Vec<ProtoAction> {
         let mut out = Vec::new();
-        p.handle(Time::ZERO, ProtoEvent::Delivered { dest: dst, msg }, &mut out);
+        p.handle(
+            Time::ZERO,
+            ProtoEvent::Delivered { dest: dst, msg },
+            &mut out,
+        );
         out
     }
 
@@ -768,7 +873,10 @@ mod tests {
         assert_eq!(run_op(&mut p, NodeId(3), CpuOp::Store(Block(4))), 0);
         assert_eq!(p.cache(NodeId(1)).state(Block(4)), None);
         assert_eq!(p.cache(NodeId(2)).state(Block(4)), None);
-        assert_eq!(p.cache(NodeId(3)).state(Block(4)), Some(CacheState::Modified));
+        assert_eq!(
+            p.cache(NodeId(3)).state(Block(4)),
+            Some(CacheState::Modified)
+        );
         assert_eq!(p.final_value(Block(4)), 1);
     }
 
@@ -792,7 +900,13 @@ mod tests {
         let (_, home, req) = sends(&out)[0];
         let acts = deliver(&mut p, home, req);
         let fwd = sends(&acts);
-        assert!(matches!(fwd[0].2, Msg::Fwd { kind: TxnKind::GetS, .. }));
+        assert!(matches!(
+            fwd[0].2,
+            Msg::Fwd {
+                kind: TxnKind::GetS,
+                ..
+            }
+        ));
 
         // Node 3's GetM hits the busy window: nacked.
         let mut out3 = Vec::new();
@@ -804,7 +918,13 @@ mod tests {
 
         // Delivering the nack triggers a retry request.
         let retry = deliver(&mut p, NodeId(3), nack[0].2);
-        assert!(matches!(sends(&retry)[0].2, Msg::DirReq { kind: TxnKind::GetM, .. }));
+        assert!(matches!(
+            sends(&retry)[0].2,
+            Msg::DirReq {
+                kind: TxnKind::GetM,
+                ..
+            }
+        ));
         assert_eq!(p.stats().nacks, 1);
         assert_eq!(p.stats().retries, 1);
 
@@ -861,7 +981,13 @@ mod tests {
             .find(|(_, _, m)| matches!(m, Msg::Transfer { .. }))
             .unwrap()
             .2;
-        assert!(matches!(data, Msg::Data { from_cache: true, .. }));
+        assert!(matches!(
+            data,
+            Msg::Data {
+                from_cache: true,
+                ..
+            }
+        ));
 
         // The crossing PutM arrives during the busy window: deferred.
         assert!(sends(&deliver(&mut p, home, putm)).is_empty());
@@ -869,7 +995,13 @@ mod tests {
         // The transfer closes the window and replays the PutM as stale.
         let replay = deliver(&mut p, home, transfer);
         let ack = sends(&replay)[0].2;
-        assert!(matches!(ack, Msg::PutAck { accepted: false, .. }));
+        assert!(matches!(
+            ack,
+            Msg::PutAck {
+                accepted: false,
+                ..
+            }
+        ));
         deliver(&mut p, NodeId(1), ack);
 
         let done = deliver(&mut p, NodeId(0), data);

@@ -23,11 +23,11 @@ use tss_sim::{Duration, Time};
 use crate::cache::{CacheConfig, CacheState, L2Cache};
 use crate::dir_classic::DirTiming;
 use crate::types::{
-    Block, CpuOp, Msg, Protocol, ProtoAction, ProtoEvent, ProtocolStats, TxnKind, Vnet,
+    Block, CpuOp, Msg, ProtoAction, ProtoEvent, Protocol, ProtocolStats, TxnKind, Vnet,
 };
 use crate::verify::ValueChecker;
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct DirBlock {
     /// Current exclusive owner, if any (memory stale while `Some`).
     owner: Option<NodeId>,
@@ -41,19 +41,6 @@ struct DirBlock {
     /// serviceable once `rev_received >= watermark`.
     deferred: VecDeque<(TxnKind, NodeId, u64)>,
     value: u64,
-}
-
-impl Default for DirBlock {
-    fn default() -> Self {
-        DirBlock {
-            owner: None,
-            sharers: 0,
-            rev_expected: 0,
-            rev_received: 0,
-            deferred: VecDeque::new(),
-            value: 0,
-        }
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,7 +101,10 @@ pub struct DirOpt {
 impl DirOpt {
     /// Creates the engine for `n` nodes (at most 64: full bit vector).
     pub fn new(n: usize, cache: CacheConfig, timing: DirTiming, verify: bool) -> Self {
-        assert!(n <= 64, "full-bit-vector directory supports at most 64 nodes");
+        assert!(
+            n <= 64,
+            "full-bit-vector directory supports at most 64 nodes"
+        );
         DirOpt {
             n,
             nodes: (0..n)
@@ -144,11 +134,22 @@ impl DirOpt {
         vnet: Vnet,
         delay: Duration,
     ) {
-        out.push(ProtoAction::Send { src, dst, msg, vnet, delay });
+        out.push(ProtoAction::Send {
+            src,
+            dst,
+            msg,
+            vnet,
+            delay,
+        });
     }
 
     fn data_msg(block: Block, value: u64, from_cache: bool) -> Msg {
-        Msg::Data { block, value, acks_expected: 0, from_cache }
+        Msg::Data {
+            block,
+            value,
+            acks_expected: 0,
+            from_cache,
+        }
     }
 
     fn dir_request(
@@ -172,7 +173,11 @@ impl DirOpt {
                         out,
                         home,
                         o,
-                        Msg::Fwd { kind: TxnKind::GetS, block, requester: r },
+                        Msg::Fwd {
+                            kind: TxnKind::GetS,
+                            block,
+                            requester: r,
+                        },
                         Vnet::Forward,
                         d_mem,
                     );
@@ -185,7 +190,14 @@ impl DirOpt {
                 } else {
                     db.sharers |= bit(r);
                     let v = db.value;
-                    Self::send(out, home, r, Self::data_msg(block, v, false), Vnet::Data, d_mem);
+                    Self::send(
+                        out,
+                        home,
+                        r,
+                        Self::data_msg(block, v, false),
+                        Vnet::Data,
+                        d_mem,
+                    );
                 }
             }
             TxnKind::GetM => {
@@ -202,7 +214,10 @@ impl DirOpt {
                             out,
                             home,
                             NodeId(i as u16),
-                            Msg::Inval { block, requester: r },
+                            Msg::Inval {
+                                block,
+                                requester: r,
+                            },
                             Vnet::Forward,
                             d_mem,
                         );
@@ -213,7 +228,11 @@ impl DirOpt {
                         out,
                         home,
                         o,
-                        Msg::Fwd { kind: TxnKind::GetM, block, requester: r },
+                        Msg::Fwd {
+                            kind: TxnKind::GetM,
+                            block,
+                            requester: r,
+                        },
                         Vnet::Forward,
                         d_mem,
                     );
@@ -222,7 +241,14 @@ impl DirOpt {
                     db.deferred.push_back((TxnKind::GetM, r, watermark));
                 } else {
                     let v = db.value;
-                    Self::send(out, home, r, Self::data_msg(block, v, false), Vnet::Data, d_mem);
+                    Self::send(
+                        out,
+                        home,
+                        r,
+                        Self::data_msg(block, v, false),
+                        Vnet::Data,
+                        d_mem,
+                    );
                 }
             }
             TxnKind::PutM => {
@@ -237,7 +263,10 @@ impl DirOpt {
                         out,
                         home,
                         r,
-                        Msg::PutAck { block, accepted: true },
+                        Msg::PutAck {
+                            block,
+                            accepted: true,
+                        },
                         Vnet::Data,
                         d_mem,
                     );
@@ -246,7 +275,10 @@ impl DirOpt {
                         out,
                         home,
                         r,
-                        Msg::PutAck { block, accepted: false },
+                        Msg::PutAck {
+                            block,
+                            accepted: false,
+                        },
                         Vnet::Data,
                         d_mem,
                     );
@@ -271,7 +303,14 @@ impl DirOpt {
             let v = db.value;
             match kind {
                 TxnKind::GetS | TxnKind::GetM => {
-                    Self::send(out, home, r, Self::data_msg(block, v, false), Vnet::Data, d_mem);
+                    Self::send(
+                        out,
+                        home,
+                        r,
+                        Self::data_msg(block, v, false),
+                        Vnet::Data,
+                        d_mem,
+                    );
                 }
                 TxnKind::PutM => unreachable!("PutM is never deferred"),
             }
@@ -294,7 +333,14 @@ impl DirOpt {
                 if back.state == WbState::MiA {
                     let value = back.value;
                     back.state = WbState::IiA;
-                    Self::send(out, me, r, Self::data_msg(block, value, true), Vnet::Data, d_cache);
+                    Self::send(
+                        out,
+                        me,
+                        r,
+                        Self::data_msg(block, value, true),
+                        Vnet::Data,
+                        d_cache,
+                    );
                     if kind == TxnKind::GetS {
                         Self::send(
                             out,
@@ -313,10 +359,19 @@ impl DirOpt {
         match self.nodes[me.index()].cache.state(block) {
             Some(CacheState::Modified) => {
                 let value = self.nodes[me.index()].cache.value(block).unwrap();
-                Self::send(out, me, r, Self::data_msg(block, value, true), Vnet::Data, d_cache);
+                Self::send(
+                    out,
+                    me,
+                    r,
+                    Self::data_msg(block, value, true),
+                    Vnet::Data,
+                    d_cache,
+                );
                 match kind {
                     TxnKind::GetS => {
-                        self.nodes[me.index()].cache.set_state(block, CacheState::Shared);
+                        self.nodes[me.index()]
+                            .cache
+                            .set_state(block, CacheState::Shared);
                         Self::send(
                             out,
                             me,
@@ -398,7 +453,10 @@ impl DirOpt {
                     .wb
                     .entry(v.block)
                     .or_default()
-                    .push_back(WbEntry { state: WbState::MiA, value: v.value });
+                    .push_back(WbEntry {
+                        state: WbState::MiA,
+                        value: v.value,
+                    });
                 Self::send(
                     out,
                     me,
@@ -445,7 +503,11 @@ impl Protocol for DirOpt {
             }
             (op, _) => {
                 self.stats.misses += 1;
-                let kind = if op.is_write() { TxnKind::GetM } else { TxnKind::GetS };
+                let kind = if op.is_write() {
+                    TxnKind::GetM
+                } else {
+                    TxnKind::GetS
+                };
                 self.nodes[node.index()].mshr = Some(Mshr {
                     block,
                     op,
@@ -456,7 +518,12 @@ impl Protocol for DirOpt {
                     out,
                     node,
                     block.home(self.n),
-                    Msg::DirReq { kind, block, requester: node, value: 0 },
+                    Msg::DirReq {
+                        kind,
+                        block,
+                        requester: node,
+                        value: 0,
+                    },
                     Vnet::Request,
                     Duration::ZERO,
                 );
@@ -469,11 +536,21 @@ impl Protocol for DirOpt {
             panic!("DirOpt does not snoop");
         };
         match msg {
-            Msg::DirReq { kind, block, requester, value } => {
+            Msg::DirReq {
+                kind,
+                block,
+                requester,
+                value,
+            } => {
                 debug_assert_eq!(me, block.home(self.n));
                 self.dir_request(me, kind, block, requester, value, out);
             }
-            Msg::Data { block, value, from_cache, .. } => {
+            Msg::Data {
+                block,
+                value,
+                from_cache,
+                ..
+            } => {
                 self.data_arrived(me, block, value, from_cache, out);
             }
             Msg::Inval { block, .. } => {
@@ -494,7 +571,11 @@ impl Protocol for DirOpt {
                     }
                 }
             }
-            Msg::Fwd { kind, block, requester } => {
+            Msg::Fwd {
+                kind,
+                block,
+                requester,
+            } => {
                 self.fwd_at_cache(me, kind, block, requester, out);
             }
             Msg::Revision { block, value } => {
@@ -552,12 +633,21 @@ mod tests {
     use super::*;
 
     fn engine(n: usize) -> DirOpt {
-        DirOpt::new(n, CacheConfig::tiny(16, 2), DirTiming::paper_default(), true)
+        DirOpt::new(
+            n,
+            CacheConfig::tiny(16, 2),
+            DirTiming::paper_default(),
+            true,
+        )
     }
 
     fn deliver(p: &mut DirOpt, dst: NodeId, msg: Msg) -> Vec<ProtoAction> {
         let mut out = Vec::new();
-        p.handle(Time::ZERO, ProtoEvent::Delivered { dest: dst, msg }, &mut out);
+        p.handle(
+            Time::ZERO,
+            ProtoEvent::Delivered { dest: dst, msg },
+            &mut out,
+        );
         out
     }
 
@@ -631,8 +721,14 @@ mod tests {
         let (_, home, req) = sends(&out)[0];
         let acts = deliver(&mut p, home, req);
         let s = sends(&acts);
-        let datas: Vec<_> = s.iter().filter(|(_, _, m)| matches!(m, Msg::Data { .. })).collect();
-        let invals: Vec<_> = s.iter().filter(|(_, _, m)| matches!(m, Msg::Inval { .. })).collect();
+        let datas: Vec<_> = s
+            .iter()
+            .filter(|(_, _, m)| matches!(m, Msg::Data { .. }))
+            .collect();
+        let invals: Vec<_> = s
+            .iter()
+            .filter(|(_, _, m)| matches!(m, Msg::Inval { .. }))
+            .collect();
         assert_eq!(datas.len(), 1);
         assert_eq!(invals.len(), 2);
         let done = deliver(&mut p, NodeId(3), datas[0].2);
@@ -708,9 +804,18 @@ mod tests {
         p.cpu_op(Time::ZERO, NodeId(0), CpuOp::Load(Block(8)), &mut out0);
         let (_, h0, req0) = sends(&out0)[0];
         let fwd0 = sends(&deliver(&mut p, h0, req0));
-        assert!(matches!(fwd0[0].2, Msg::Fwd { kind: TxnKind::GetS, .. }));
+        assert!(matches!(
+            fwd0[0].2,
+            Msg::Fwd {
+                kind: TxnKind::GetS,
+                ..
+            }
+        ));
         assert_eq!(fwd0[0].1, NodeId(3));
-        assert!(sends(&deliver(&mut p, NodeId(3), fwd0[0].2)).is_empty(), "queued");
+        assert!(
+            sends(&deliver(&mut p, NodeId(3), fwd0[0].2)).is_empty(),
+            "queued"
+        );
 
         // (4) Revision #1 lands: node 3's deferred data goes out (it must
         // not deadlock waiting for revision #2).
@@ -774,12 +879,24 @@ mod tests {
         let (_, h, req) = sends(&out0)[0];
         let fwd = sends(&deliver(&mut p, h, req))[0].2;
         let serve = sends(&deliver(&mut p, NodeId(1), fwd));
-        assert!(matches!(serve[0].2, Msg::Data { from_cache: true, .. }));
+        assert!(matches!(
+            serve[0].2,
+            Msg::Data {
+                from_cache: true,
+                ..
+            }
+        ));
         deliver(&mut p, NodeId(0), serve[0].2);
 
         // The stale PutM arrives: rejected without blocking.
         let ack = sends(&deliver(&mut p, home, putm));
-        assert!(matches!(ack[0].2, Msg::PutAck { accepted: false, .. }));
+        assert!(matches!(
+            ack[0].2,
+            Msg::PutAck {
+                accepted: false,
+                ..
+            }
+        ));
         deliver(&mut p, NodeId(1), ack[0].2);
         assert_eq!(p.final_value(b), 2);
     }

@@ -30,7 +30,7 @@ use tss_sim::{Duration, Time};
 
 use crate::cache::{CacheConfig, CacheState, L2Cache};
 use crate::types::{
-    AddrTxn, Block, CpuOp, Msg, Protocol, ProtoAction, ProtoEvent, ProtocolStats, TxnKind, Vnet,
+    AddrTxn, Block, CpuOp, Msg, ProtoAction, ProtoEvent, Protocol, ProtocolStats, TxnKind, Vnet,
     WbKey,
 };
 use crate::verify::ValueChecker;
@@ -224,13 +224,7 @@ impl TsSnoop {
         }
     }
 
-    fn send(
-        out: &mut Vec<ProtoAction>,
-        src: NodeId,
-        dst: NodeId,
-        msg: Msg,
-        delay: Duration,
-    ) {
+    fn send(out: &mut Vec<ProtoAction>, src: NodeId, dst: NodeId, msg: Msg, delay: Duration) {
         out.push(ProtoAction::Send {
             src,
             dst,
@@ -293,7 +287,10 @@ impl TsSnoop {
         if !mb.queue.is_empty() {
             // Memory is behind: append in order and replay later.
             let entry = match txn.kind {
-                TxnKind::GetS | TxnKind::GetM => MemEntry::Req { kind: txn.kind, r: txn.requester },
+                TxnKind::GetS | TxnKind::GetM => MemEntry::Req {
+                    kind: txn.kind,
+                    r: txn.requester,
+                },
                 TxnKind::PutM => MemEntry::AwaitWb {
                     key: WbKey::PutM(txn.requester),
                     resolved: None,
@@ -387,7 +384,10 @@ impl TsSnoop {
             match mb.queue.front_mut() {
                 None => break,
                 Some(MemEntry::AwaitWb { resolved: None, .. }) => break,
-                Some(MemEntry::AwaitWb { resolved: Some(payload), .. }) => {
+                Some(MemEntry::AwaitWb {
+                    resolved: Some(payload),
+                    ..
+                }) => {
                     if let Some(v) = payload {
                         mb.owned = true;
                         mb.value = *v;
@@ -413,14 +413,11 @@ impl TsSnoop {
                                 // memory a writeback: open the slot (it may
                                 // already have arrived early).
                                 let key = WbKey::GetS(r);
-                                let resolved = match mb
-                                    .early_wbs
-                                    .iter()
-                                    .position(|(k, _)| *k == key)
-                                {
-                                    Some(i) => Some(mb.early_wbs.remove(i).1),
-                                    None => None,
-                                };
+                                let resolved =
+                                    match mb.early_wbs.iter().position(|(k, _)| *k == key) {
+                                        Some(i) => Some(mb.early_wbs.remove(i).1),
+                                        None => None,
+                                    };
                                 mb.queue.push_front(MemEntry::AwaitWb { key, resolved });
                                 if resolved.is_none() {
                                     break;
@@ -470,7 +467,11 @@ impl TsSnoop {
                         out,
                         node,
                         block.home(self.n),
-                        Msg::WbData { block, value, key: WbKey::GetS(r) },
+                        Msg::WbData {
+                            block,
+                            value,
+                            key: WbKey::GetS(r),
+                        },
                         d_cache,
                     );
                     self.nodes[node.index()]
@@ -496,7 +497,9 @@ impl TsSnoop {
         out: &mut Vec<ProtoAction>,
     ) {
         let is_mine = txn.requester == me;
-        let cache_delay = self.timing.response_delay(now, arrival, self.timing.d_cache);
+        let cache_delay = self
+            .timing
+            .response_delay(now, arrival, self.timing.d_cache);
 
         match txn.kind {
             TxnKind::PutM => {
@@ -530,7 +533,10 @@ impl TsSnoop {
                             out,
                             me,
                             home,
-                            Msg::WbNoData { block: txn.block, key: WbKey::PutM(me) },
+                            Msg::WbNoData {
+                                block: txn.block,
+                                key: WbKey::PutM(me),
+                            },
                             cache_delay,
                         ),
                     }
@@ -623,11 +629,10 @@ impl TsSnoop {
                                 TxnKind::PutM => unreachable!(),
                             }
                         }
-                        Some(CacheState::Shared) => {
-                            if txn.kind == TxnKind::GetM && !is_mine {
-                                self.nodes[me.index()].cache.invalidate(txn.block);
-                            }
+                        Some(CacheState::Shared) if txn.kind == TxnKind::GetM && !is_mine => {
+                            self.nodes[me.index()].cache.invalidate(txn.block);
                         }
+                        Some(CacheState::Shared) => {}
                         None => {}
                     }
 
@@ -690,23 +695,22 @@ impl TsSnoop {
                 if let Some(c) = self.checker.as_mut() {
                     c.observe(me, block, observed);
                 }
-                out.push(ProtoAction::Complete { node: me, value: observed });
+                out.push(ProtoAction::Complete {
+                    node: me,
+                    value: observed,
+                });
             }
             MshrState::ImD => {
                 let observed = value;
                 let new_value = value + 1; // stores increment (verification)
-                self.fill_and_maybe_writeback(
-                    now,
-                    me,
-                    block,
-                    CacheState::Modified,
-                    new_value,
-                    out,
-                );
+                self.fill_and_maybe_writeback(now, me, block, CacheState::Modified, new_value, out);
                 if let Some(c) = self.checker.as_mut() {
                     c.observe_store(me, block, observed);
                 }
-                out.push(ProtoAction::Complete { node: me, value: observed });
+                out.push(ProtoAction::Complete {
+                    node: me,
+                    value: observed,
+                });
                 let mut queued = m.queued;
                 self.drain_one_queued(me, block, &mut queued, out);
             }
@@ -746,8 +750,16 @@ impl Protocol for TsSnoop {
                 // upgrades from S — MSI without a separate upgrade
                 // transaction, symmetric across all three protocols).
                 self.stats.misses += 1;
-                let kind = if op.is_write() { TxnKind::GetM } else { TxnKind::GetS };
-                let state = if op.is_write() { MshrState::ImAd } else { MshrState::IsAd };
+                let kind = if op.is_write() {
+                    TxnKind::GetM
+                } else {
+                    TxnKind::GetS
+                };
+                let state = if op.is_write() {
+                    MshrState::ImAd
+                } else {
+                    MshrState::IsAd
+                };
                 debug_assert!(
                     !(kind == TxnKind::GetS && prior.is_some()),
                     "loads only miss when absent"
@@ -760,7 +772,11 @@ impl Protocol for TsSnoop {
                 });
                 out.push(ProtoAction::Broadcast {
                     src: node,
-                    txn: AddrTxn { kind, block, requester: node },
+                    txn: AddrTxn {
+                        kind,
+                        block,
+                        requester: node,
+                    },
                 });
             }
         }
@@ -772,9 +788,12 @@ impl Protocol for TsSnoop {
                 self.snooped(now, dest, txn, arrival, out)
             }
             ProtoEvent::Delivered { dest, msg } => match msg {
-                Msg::Data { block, value, from_cache, .. } => {
-                    self.data_arrived(now, dest, block, value, from_cache, out)
-                }
+                Msg::Data {
+                    block,
+                    value,
+                    from_cache,
+                    ..
+                } => self.data_arrived(now, dest, block, value, from_cache, out),
                 Msg::WbData { block, value, key } => {
                     debug_assert_eq!(dest, block.home(self.n));
                     self.memory_wb(dest, block, key, Some(value), out)
@@ -854,7 +873,11 @@ mod tests {
         for i in 0..p.n {
             p.handle(
                 now,
-                ProtoEvent::Snooped { dest: NodeId(i as u16), txn, arrival: now },
+                ProtoEvent::Snooped {
+                    dest: NodeId(i as u16),
+                    txn,
+                    arrival: now,
+                },
                 &mut out,
             );
         }
@@ -932,7 +955,11 @@ mod tests {
         let data_to_2 = s.iter().find(|(_, d, _)| *d == NodeId(2)).unwrap();
         assert!(matches!(
             data_to_2.2,
-            Msg::Data { from_cache: true, value: 1, .. }
+            Msg::Data {
+                from_cache: true,
+                value: 1,
+                ..
+            }
         ));
         let wb_home = s.iter().find(|(_, d, _)| *d == b.home(4)).unwrap();
         assert!(matches!(wb_home.2, Msg::WbData { value: 1, .. }));
@@ -950,14 +977,21 @@ mod tests {
         let acts = snoop_all(&mut p, Time::from_ns(800), first_broadcast(&out));
         let s = sends(&acts);
         assert_eq!(s.len(), 1);
-        assert!(matches!(s[0].2, Msg::Data { from_cache: false, value: 1, .. }));
+        assert!(matches!(
+            s[0].2,
+            Msg::Data {
+                from_cache: false,
+                value: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn getm_invalidates_sharers() {
         let mut p = engine(4);
         let b = Block(4); // home = node 0
-        // Nodes 1 and 2 get S copies.
+                          // Nodes 1 and 2 get S copies.
         for n in [1u16, 2] {
             let mut out = Vec::new();
             p.cpu_op(Time::ZERO, NodeId(n), CpuOp::Load(b), &mut out);
@@ -1001,7 +1035,14 @@ mod tests {
         let s = sends(&acts);
         assert_eq!(s.len(), 2);
         let to2 = s.iter().find(|(_, d, _)| *d == NodeId(2)).unwrap();
-        assert!(matches!(to2.2, Msg::Data { value: 1, from_cache: true, .. }));
+        assert!(matches!(
+            to2.2,
+            Msg::Data {
+                value: 1,
+                from_cache: true,
+                ..
+            }
+        ));
         assert_eq!(p.cache(NodeId(1)).state(b), Some(CacheState::Shared));
         let done = deliver(&mut p, Time::from_ns(50), NodeId(2), to2.2);
         assert!(matches!(done[0], ProtoAction::Complete { value: 1, .. }));
@@ -1011,7 +1052,7 @@ mod tests {
     fn writeback_race_getm_ordered_first() {
         let mut p = engine(2);
         let b = Block(2); // home = node 0
-        // Node 1 acquires M.
+                          // Node 1 acquires M.
         let mut out = Vec::new();
         p.cpu_op(Time::ZERO, NodeId(1), CpuOp::Store(b), &mut out);
         let acts = snoop_all(&mut p, Time::from_ns(10), first_broadcast(&out));
@@ -1024,12 +1065,22 @@ mod tests {
         // hand: create the PutM broadcast via an eviction.
         let mut out = Vec::new();
         // Fill the same set with blocks 2+16*k until b is evicted.
-        p.cpu_op(Time::from_ns(30), NodeId(1), CpuOp::Store(Block(2 + 16)), &mut out);
+        p.cpu_op(
+            Time::from_ns(30),
+            NodeId(1),
+            CpuOp::Store(Block(2 + 16)),
+            &mut out,
+        );
         let acts = snoop_all(&mut p, Time::from_ns(40), first_broadcast(&out));
         let (_, _, d) = sends(&acts)[0];
         let acts = deliver(&mut p, Time::from_ns(50), NodeId(1), d);
         let mut out = acts;
-        p.cpu_op(Time::from_ns(60), NodeId(1), CpuOp::Store(Block(2 + 32)), &mut out);
+        p.cpu_op(
+            Time::from_ns(60),
+            NodeId(1),
+            CpuOp::Store(Block(2 + 32)),
+            &mut out,
+        );
         let getm3 = first_broadcast(&out[1..]); // skip earlier actions
         let acts = snoop_all(&mut p, Time::from_ns(70), getm3);
         let (_, _, d) = sends(&acts)[0];
@@ -1046,7 +1097,9 @@ mod tests {
         let acts = snoop_all(&mut p, Time::from_ns(100), getm0);
         let s = sends(&acts);
         // Node 1 (in MI_A) still owns the data and serves it.
-        let to0 = s.iter().find(|(_, dd, m)| *dd == NodeId(0) && matches!(m, Msg::Data { .. }));
+        let to0 = s
+            .iter()
+            .find(|(_, dd, m)| *dd == NodeId(0) && matches!(m, Msg::Data { .. }));
         let (_, _, data0) = to0.expect("writeback owner serves the racing GETM");
         deliver(&mut p, Time::from_ns(110), NodeId(0), *data0);
 
@@ -1090,7 +1143,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(p.final_value(b), 1, "memory re-owned the written-back value");
+        assert_eq!(
+            p.final_value(b),
+            1,
+            "memory re-owned the written-back value"
+        );
         assert_eq!(p.stats().writebacks, 1);
 
         // A later load is served by memory again.
@@ -1098,14 +1155,21 @@ mod tests {
         p.cpu_op(Time::from_ns(100), NodeId(0), CpuOp::Load(b), &mut out);
         let acts = snoop_all(&mut p, Time::from_ns(110), first_broadcast(&out));
         let s = sends(&acts);
-        assert!(matches!(s[0].2, Msg::Data { from_cache: false, value: 1, .. }));
+        assert!(matches!(
+            s[0].2,
+            Msg::Data {
+                from_cache: false,
+                value: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn gets_while_memory_awaits_writeback_is_deferred() {
         let mut p = engine(4);
         let b = Block(8); // home node 0
-        // Node 1 owns M.
+                          // Node 1 owns M.
         let mut out = Vec::new();
         p.cpu_op(Time::ZERO, NodeId(1), CpuOp::Store(b), &mut out);
         let acts = snoop_all(&mut p, Time::from_ns(10), first_broadcast(&out));
@@ -1133,7 +1197,14 @@ mod tests {
         let s = sends(&acts);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].1, NodeId(3));
-        assert!(matches!(s[0].2, Msg::Data { value: 1, from_cache: false, .. }));
+        assert!(matches!(
+            s[0].2,
+            Msg::Data {
+                value: 1,
+                from_cache: false,
+                ..
+            }
+        ));
     }
 
     #[test]

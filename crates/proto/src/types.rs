@@ -199,7 +199,10 @@ impl Msg {
         match self {
             Msg::Data { .. } | Msg::WbData { .. } => MsgClass::Data,
             // Directory writebacks and sharing revisions carry the block.
-            Msg::DirReq { kind: TxnKind::PutM, .. } => MsgClass::Data,
+            Msg::DirReq {
+                kind: TxnKind::PutM,
+                ..
+            } => MsgClass::Data,
             Msg::Revision { .. } => MsgClass::Data,
             Msg::DirReq { .. } => MsgClass::Request,
             Msg::Nack { .. } => MsgClass::Nack,
@@ -302,7 +305,7 @@ pub enum ProtoEvent {
 }
 
 /// Per-protocol counters for Table 3 and Figure 3/4 reporting.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 pub struct ProtocolStats {
     /// L2 misses (all kinds).
     pub misses: u64,
@@ -380,21 +383,61 @@ mod tests {
     fn message_classes_follow_figure4() {
         let b = Block(1);
         assert_eq!(
-            Msg::Data { block: b, value: 0, acks_expected: 0, from_cache: false }.class(),
+            Msg::Data {
+                block: b,
+                value: 0,
+                acks_expected: 0,
+                from_cache: false
+            }
+            .class(),
             MsgClass::Data
         );
-        assert_eq!(Msg::WbData { block: b, value: 0, key: WbKey::PutM(NodeId(0)) }.class(), MsgClass::Data);
         assert_eq!(
-            Msg::DirReq { kind: TxnKind::GetS, block: b, requester: NodeId(0), value: 0 }.class(),
+            Msg::WbData {
+                block: b,
+                value: 0,
+                key: WbKey::PutM(NodeId(0))
+            }
+            .class(),
+            MsgClass::Data
+        );
+        assert_eq!(
+            Msg::DirReq {
+                kind: TxnKind::GetS,
+                block: b,
+                requester: NodeId(0),
+                value: 0
+            }
+            .class(),
             MsgClass::Request
         );
         assert_eq!(
-            Msg::DirReq { kind: TxnKind::PutM, block: b, requester: NodeId(0), value: 0 }.class(),
+            Msg::DirReq {
+                kind: TxnKind::PutM,
+                block: b,
+                requester: NodeId(0),
+                value: 0
+            }
+            .class(),
             MsgClass::Data,
             "directory writebacks carry the block"
         );
-        assert_eq!(Msg::Nack { kind: TxnKind::GetS, block: b }.class(), MsgClass::Nack);
-        assert_eq!(Msg::Inval { block: b, requester: NodeId(0) }.class(), MsgClass::Misc);
+        assert_eq!(
+            Msg::Nack {
+                kind: TxnKind::GetS,
+                block: b
+            }
+            .class(),
+            MsgClass::Nack
+        );
+        assert_eq!(
+            Msg::Inval {
+                block: b,
+                requester: NodeId(0)
+            }
+            .class(),
+            MsgClass::Misc
+        );
         assert_eq!(Msg::InvAck { block: b }.class(), MsgClass::Misc);
     }
 
@@ -402,11 +445,24 @@ mod tests {
     fn message_block_accessor() {
         let b = Block(9);
         for m in [
-            Msg::WbNoData { block: b, key: WbKey::PutM(NodeId(1)) },
+            Msg::WbNoData {
+                block: b,
+                key: WbKey::PutM(NodeId(1)),
+            },
             Msg::Revision { block: b, value: 3 },
-            Msg::Transfer { block: b, new_owner: NodeId(2) },
-            Msg::PutAck { block: b, accepted: true },
-            Msg::Fwd { kind: TxnKind::GetM, block: b, requester: NodeId(1) },
+            Msg::Transfer {
+                block: b,
+                new_owner: NodeId(2),
+            },
+            Msg::PutAck {
+                block: b,
+                accepted: true,
+            },
+            Msg::Fwd {
+                kind: TxnKind::GetM,
+                block: b,
+                requester: NodeId(1),
+            },
         ] {
             assert_eq!(m.block(), b);
         }

@@ -1,0 +1,416 @@
+//! A minimal, workspace-local stand-in for the `serde` crate.
+//!
+//! The build environment is fully offline (no crates.io), so this
+//! workspace vendors the small serde surface the experiment API needs:
+//! [`Serialize`]/[`Deserialize`] traits, `#[derive(Serialize, Deserialize)]`
+//! (re-exported from the sibling `serde_derive` proc-macro crate), and the
+//! [`Value`] document model that `serde_json` renders and parses.
+//!
+//! Design simplifications relative to real serde:
+//!
+//! * Serialization is eager and self-describing: `to_value` produces a
+//!   [`Value`] tree; there is no visitor/`Serializer` machinery.
+//! * Object key order is **declaration order** and is preserved exactly —
+//!   this is what makes `GridReport` JSON byte-identical across runs.
+//! * Integers keep full `u64`/`i64` precision; floats are emitted with
+//!   Rust's shortest-roundtrip formatting.
+//!
+//! If the workspace ever gains network access, swapping back to real serde
+//! means deleting the three `crates/serde*` members and pointing the
+//! workspace dependencies at crates.io — the call sites are compatible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Let the `::serde::...` paths the derive macros generate resolve even
+// inside this crate's own tests.
+extern crate self as serde;
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped document value.
+///
+/// Objects preserve insertion order (a `Vec` of pairs, not a map), so
+/// serialization is deterministic: the same data always renders to the
+/// same bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A non-negative integer (renders without decimal point).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A finite float. Non-finite floats serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The entries of an object, if this is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A one-word description used in error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a message, optionally prefixed
+/// with the JSON path where it occurred.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+
+    /// Prefixes the error with a field name (breadcrumb for nested types).
+    pub fn in_field(self, field: &str) -> Self {
+        Error(format!("{field}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Produces the value tree for this datum.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the datum out of a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up and deserializes one object field — the helper the derive
+/// macro generates calls against. Missing keys are an error; unknown keys
+/// in the object are ignored.
+pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
+    match v.get(key) {
+        Some(inner) => T::from_value(inner).map_err(|e| e.in_field(key)),
+        None => match v {
+            Value::Object(_) => Err(Error::msg(format!("missing field `{key}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{key}`, found {}",
+                other.kind()
+            ))),
+        },
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::U64(u) => *u,
+                    other => {
+                        return Err(Error::msg(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::msg(format!("{wide} overflows {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as i64;
+                if wide < 0 { Value::I64(wide) } else { Value::U64(wide as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::I64(i) => *i,
+                    Value::U64(u) => i64::try_from(*u)
+                        .map_err(|_| Error::msg(format!("{u} overflows i64")))?,
+                    other => {
+                        return Err(Error::msg(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::msg(format!("{wide} overflows {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // JSON has one number type: integers written without a decimal
+        // point (e.g. a mean that landed on 2.0, printed as `2`) must
+        // deserialize back into float fields.
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            Value::Null => Ok(f64::NAN), // non-finite floats serialize as null
+            other => Err(Error::msg(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_value(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+                .collect(),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip_with_full_precision() {
+        let big: u64 = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+        let neg: i64 = -42;
+        assert_eq!(i64::from_value(&neg.to_value()).unwrap(), neg);
+        assert!(u64::from_value(&neg.to_value()).is_err());
+    }
+
+    #[test]
+    fn floats_accept_integer_values() {
+        assert_eq!(f64::from_value(&Value::U64(2)).unwrap(), 2.0);
+        assert_eq!(f64::from_value(&Value::I64(-2)).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn options_map_to_null() {
+        let none: Option<u64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(5)).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn field_lookup_reports_missing_keys() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(de_field::<u64>(&obj, "a").unwrap(), 1);
+        let err = de_field::<u64>(&obj, "b").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn derive_on_struct_and_enum_round_trips() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Demo {
+            id: u64,
+            label: String,
+            ratio: f64,
+            tags: Vec<String>,
+        }
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Mode {
+            Fast,
+            Detailed,
+        }
+        let d = Demo {
+            id: 7,
+            label: "cell".into(),
+            ratio: 0.75,
+            tags: vec!["a".into(), "b".into()],
+        };
+        let v = d.to_value();
+        assert_eq!(v.get("id"), Some(&Value::U64(7)));
+        assert_eq!(Demo::from_value(&v).unwrap(), d);
+        assert_eq!(Mode::Fast.to_value(), Value::Str("Fast".into()));
+        assert_eq!(
+            Mode::from_value(&Value::Str("Detailed".into())).unwrap(),
+            Mode::Detailed
+        );
+        assert!(Mode::from_value(&Value::Str("Nope".into())).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace-local `serde` stand-in.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal serde-compatible surface (see
+//! `crates/serde`). This proc-macro crate implements the derives with the
+//! raw `proc_macro` API — no `syn`/`quote` — which is enough because the
+//! types we derive on are plain:
+//!
+//! * structs with named fields (every field type must itself implement
+//!   `Serialize` / `Deserialize`), and
+//! * enums whose variants are all unit variants (serialized as the variant
+//!   name string, matching serde's externally-tagged default).
+//!
+//! Anything fancier (tuple structs, data-carrying enums, generics) panics
+//! at compile time with a message telling you to write a manual impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named struct fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit enum variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+///
+/// Structs serialize to a `Value::Object` with one entry per field in
+/// declaration order; unit enums serialize to `Value::Str(variant_name)`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let mut out = String::new();
+    match &parsed.shape {
+        Shape::Struct(fields) => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {} {{\n fn to_value(&self) -> ::serde::Value {{\n \
+                 ::serde::Value::Object(::std::vec![\n",
+                parsed.name
+            ));
+            for f in fields {
+                out.push_str(&format!(
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            out.push_str("]) } }\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {} {{\n fn to_value(&self) -> ::serde::Value {{\n \
+                 ::serde::Value::Str(::std::string::String::from(match self {{\n",
+                parsed.name
+            ));
+            for v in variants {
+                out.push_str(&format!("{}::{v} => \"{v}\",\n", parsed.name));
+            }
+            out.push_str("})) } }\n");
+        }
+    }
+    out.parse()
+        .expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+///
+/// Structs deserialize from a `Value::Object` by field name (missing keys
+/// are an error, unknown keys are ignored); unit enums from their variant
+/// name string.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let mut out = String::new();
+    match &parsed.shape {
+        Shape::Struct(fields) => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {} {{\n fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n \
+                 ::std::result::Result::Ok({} {{\n",
+                parsed.name, parsed.name
+            ));
+            for f in fields {
+                out.push_str(&format!("{f}: ::serde::de_field(v, \"{f}\")?,\n"));
+            }
+            out.push_str("}) } }\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {} {{\n fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n \
+                 match v {{ ::serde::Value::Str(s) => match s.as_str() {{\n",
+                parsed.name
+            ));
+            for v in variants {
+                out.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({}::{v}),\n",
+                    parsed.name
+                ));
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\
+                 \"unknown {} variant {{other:?}}\"))),\n }}, \n_ => \
+                 ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected a variant-name string for {}\")), }} }} }}\n",
+                parsed.name, parsed.name
+            ));
+        }
+    }
+    out.parse()
+        .expect("derive(Deserialize) generated invalid Rust")
+}
+
+/// Parses `struct Name { fields... }` or `enum Name { variants... }` out
+/// of the derive input token stream.
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility until the `struct`/`enum` keyword.
+    let is_enum = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the following `[...]` group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Consume an optional `(crate)`-style restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => {}
+            None => panic!("derive input has no struct or enum"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive on generic type {name} is unsupported; write a manual impl")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("derive on tuple/unit struct {name} is unsupported; write a manual impl")
+            }
+            Some(_) => {}
+            None => panic!("no braced body found for {name}"),
+        }
+    };
+    let shape = if is_enum {
+        Shape::Enum(parse_unit_variants(&name, body))
+    } else {
+        Shape::Struct(parse_named_fields(&name, body))
+    };
+    Input { name, shape }
+}
+
+/// Extracts field names from the body of a braced struct.
+fn parse_named_fields(type_name: &str, body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("unexpected token {other:?} in fields of {type_name}")
+                }
+                None => return fields,
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "expected `:` after field {name} of {type_name}, got {other:?} \
+                 (tuple structs are unsupported)"
+            ),
+        }
+        fields.push(name);
+        // Consume the type: everything until a comma at angle-bracket
+        // depth 0. Bracketed/parenthesised parts arrive as single groups.
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Extracts variant names from the body of an enum, insisting they are all
+/// unit variants.
+fn parse_unit_variants(type_name: &str, body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("unexpected token {other:?} in variants of {type_name}")
+                }
+                None => return variants,
+            }
+        };
+        variants.push(name.clone());
+        match iter.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "variant {type_name}::{name} carries data; derive supports only unit \
+                 variants — write a manual impl"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip an explicit discriminant expression.
+                loop {
+                    match iter.next() {
+                        None => return variants,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                    }
+                }
+            }
+            Some(other) => panic!("unexpected token {other:?} after variant {name}"),
+        }
+    }
+}

@@ -6,14 +6,14 @@
 //! [`SimRng`] so that a `(experiment seed, stream id)` pair fully determines
 //! a run.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A deterministic random-number generator for simulations.
 ///
-/// Thin wrapper around [`rand::rngs::SmallRng`] that is always constructed
-/// from an explicit seed, never from OS entropy, so every simulation in this
-/// workspace is reproducible.
+/// A self-contained xoshiro256++ generator (Blackman & Vigna, public
+/// domain) that is always constructed from an explicit seed, never from OS
+/// entropy, so every simulation in this workspace is reproducible. The
+/// workspace carries its own implementation so the simulator has no
+/// external RNG dependency and the bit stream can never shift under a
+/// dependency upgrade.
 ///
 /// ```
 /// use tss_sim::rng::SimRng;
@@ -22,7 +22,9 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
 /// ```
 #[derive(Debug, Clone)]
-pub struct SimRng(SmallRng);
+pub struct SimRng {
+    s: [u64; 4],
+}
 
 impl SimRng {
     /// Creates a generator from an experiment seed and a stream id.
@@ -31,13 +33,47 @@ impl SimRng {
     /// derived from the same experiment seed are statistically independent:
     /// the pair is mixed through SplitMix64 before seeding.
     pub fn from_seed_and_stream(seed: u64, stream: u64) -> Self {
-        let mixed = splitmix64(splitmix64(seed) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        SimRng(SmallRng::seed_from_u64(mixed))
+        let mut z = splitmix64(splitmix64(seed) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = splitmix64(z);
+            *slot = z;
+        }
+        // All-zero state is xoshiro's fixed point; SplitMix64 cannot emit
+        // four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
     }
 
-    /// Uniform sample from `range` (half-open, like [`rand::Rng::gen_range`]).
+    /// The next raw 64-bit output (xoshiro256++).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample from `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
-        self.0.gen_range(range)
+        assert!(range.start < range.end, "cannot sample an empty range");
+        let span = range.end - range.start;
+        // Lemire's multiply-shift map: bias is 2^-64 per sample, far below
+        // anything a simulation of this size can observe.
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi
     }
 
     /// Uniform sample from `0..n` as a `usize` index.
@@ -47,7 +83,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample an index from an empty range");
-        self.0.gen_range(0..n)
+        self.gen_range(0..n as u64) as usize
     }
 
     /// Returns `true` with probability `p`.
@@ -57,12 +93,13 @@ impl SimRng {
     /// Panics if `p` is not within `0.0..=1.0`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
-        self.0.gen_bool(p)
+        self.unit() < p
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.0.gen::<f64>()
+        // 53 high bits → the standard dyadic uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A geometric-ish burst length: samples `1 + G` where `G` counts
@@ -132,10 +169,44 @@ mod tests {
     }
 
     #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SimRng::from_seed_and_stream(11, 1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..17);
+            assert!((10..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_spans_the_unit_interval() {
+        let mut r = SimRng::from_seed_and_stream(12, 2);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(
+            lo < 0.01 && hi > 0.99,
+            "unit() samples span [0,1): {lo} {hi}"
+        );
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = SimRng::from_seed_and_stream(1, 1);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = SimRng::from_seed_and_stream(13, 4);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.25).abs() < 0.01, "chance(0.25) measured {p}");
     }
 
     #[test]

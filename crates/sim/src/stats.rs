@@ -50,8 +50,9 @@ impl fmt::Display for Counter {
 /// Online mean/min/max accumulator for latency-like samples.
 ///
 /// Used to report, e.g., measured cache-to-cache miss latency against the
-/// paper's Table 2 closed-form values.
-#[derive(Debug, Clone, Copy, Default)]
+/// paper's Table 2 closed-form values. Serializes to its four counters so
+/// run reports can carry latency distributions.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 pub struct LatencyStat {
     count: u64,
     total_ns: u64,

@@ -84,6 +84,30 @@ impl Duration {
     }
 }
 
+impl serde::Serialize for Duration {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::U64(self.0)
+    }
+}
+
+impl serde::Deserialize for Duration {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        <u64 as serde::Deserialize>::from_value(v).map(Duration)
+    }
+}
+
+impl serde::Serialize for Time {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::U64(self.0)
+    }
+}
+
+impl serde::Deserialize for Time {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        <u64 as serde::Deserialize>::from_value(v).map(Time)
+    }
+}
+
 impl Add<Duration> for Time {
     type Output = Time;
     #[inline]

@@ -10,7 +10,10 @@ use crate::spec::TraceItem;
 
 fn items(ops: Vec<CpuOp>, gap: u64) -> Vec<TraceItem> {
     ops.into_iter()
-        .map(|op| TraceItem { gap_instructions: gap, op })
+        .map(|op| TraceItem {
+            gap_instructions: gap,
+            op,
+        })
         .collect()
 }
 
@@ -25,7 +28,12 @@ pub fn ping_pong(rounds: u64, gap: u64) -> Vec<Vec<TraceItem>> {
 
 /// Every CPU streams over its own private blocks: after the cold pass all
 /// references hit; zero cache-to-cache transfers.
-pub fn private_streams(cpus: usize, blocks_per_cpu: u64, passes: u64, gap: u64) -> Vec<Vec<TraceItem>> {
+pub fn private_streams(
+    cpus: usize,
+    blocks_per_cpu: u64,
+    passes: u64,
+    gap: u64,
+) -> Vec<Vec<TraceItem>> {
     (0..cpus)
         .map(|c| {
             let base = 0xA000 + c as u64 * blocks_per_cpu;
@@ -43,11 +51,7 @@ pub fn private_streams(cpus: usize, blocks_per_cpu: u64, passes: u64, gap: u64) 
 /// CPU 0 writes a region once; every other CPU then reads it twice. The
 /// first reader of each block takes a cache-to-cache transfer (the writer
 /// holds M); later readers and second passes are served by memory or hit.
-pub fn single_writer_many_readers(
-    cpus: usize,
-    blocks: u64,
-    gap: u64,
-) -> Vec<Vec<TraceItem>> {
+pub fn single_writer_many_readers(cpus: usize, blocks: u64, gap: u64) -> Vec<Vec<TraceItem>> {
     let base = 0xB000;
     let mut traces = Vec::new();
     let writer: Vec<CpuOp> = (0..blocks).map(|b| CpuOp::Store(Block(base + b))).collect();
@@ -90,9 +94,69 @@ pub fn scripted(per_cpu_ops: Vec<Vec<CpuOp>>, gap: u64) -> Vec<Vec<TraceItem>> {
     per_cpu_ops.into_iter().map(|ops| items(ops, gap)).collect()
 }
 
+/// The Table 2 single-miss microbenchmark: `owner` stores `block` (taking
+/// it Modified), then — after a gap long enough that the store has
+/// globally completed — `requester` loads it, producing exactly one
+/// cache-to-cache miss. The requester's miss latency is the measured
+/// Table 2 "block from cache" quantity.
+///
+/// # Panics
+///
+/// Panics if `owner == requester` or either index is outside `0..cpus`.
+pub fn single_miss_pair(
+    owner: usize,
+    requester: usize,
+    block: Block,
+    cpus: usize,
+) -> Vec<Vec<TraceItem>> {
+    assert!(owner != requester, "owner and requester must differ");
+    assert!(owner < cpus && requester < cpus, "cpu index out of range");
+    let mut traces = vec![Vec::new(); cpus];
+    traces[owner].push(TraceItem {
+        gap_instructions: 4,
+        op: CpuOp::Store(block),
+    });
+    // Long gap: issue strictly after the owner holds M.
+    traces[requester].push(TraceItem {
+        gap_instructions: 40_000,
+        op: CpuOp::Load(block),
+    });
+    traces
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn single_miss_pair_shape() {
+        let t = single_miss_pair(3, 11, Block(0x40), 16);
+        assert_eq!(t.len(), 16);
+        assert_eq!(
+            t[3],
+            vec![TraceItem {
+                gap_instructions: 4,
+                op: CpuOp::Store(Block(0x40))
+            }]
+        );
+        assert_eq!(
+            t[11],
+            vec![TraceItem {
+                gap_instructions: 40_000,
+                op: CpuOp::Load(Block(0x40))
+            }]
+        );
+        assert!(t
+            .iter()
+            .enumerate()
+            .all(|(i, tr)| tr.is_empty() || i == 3 || i == 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn single_miss_pair_rejects_same_cpu() {
+        single_miss_pair(2, 2, Block(1), 16);
+    }
 
     #[test]
     fn ping_pong_shape() {
@@ -133,6 +197,12 @@ mod tests {
     #[test]
     fn scripted_wraps_ops() {
         let t = scripted(vec![vec![CpuOp::Load(Block(1))]], 5);
-        assert_eq!(t[0][0], TraceItem { gap_instructions: 5, op: CpuOp::Load(Block(1)) });
+        assert_eq!(
+            t[0][0],
+            TraceItem {
+                gap_instructions: 5,
+                op: CpuOp::Load(Block(1))
+            }
+        );
     }
 }

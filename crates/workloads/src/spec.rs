@@ -13,7 +13,7 @@ use tss_proto::{Block, CpuOp};
 use tss_sim::rng::SimRng;
 
 /// Relative frequencies of the five reference classes.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct ClassWeights {
     /// CPU-private working set (mostly hits).
     pub private: f64,
@@ -45,7 +45,7 @@ impl ClassWeights {
 }
 
 /// A fully parameterised synthetic workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct WorkloadSpec {
     /// Human-readable name (Table 1 benchmark it stands in for).
     pub name: String,
@@ -227,13 +227,15 @@ impl CpuStream {
             }
             1 => {
                 let off = self.rng.gen_range(0..self.layout.shared_ro.max(1));
-                self.pending.push(CpuOp::Load(Block(self.layout.shared_ro_base + off)));
+                self.pending
+                    .push(CpuOp::Load(Block(self.layout.shared_ro_base + off)));
             }
             2 => {
                 // Migratory record: atomic read-modify-write (DB row
                 // update) — a single GETM sourced by the previous owner.
                 let off = self.rng.gen_range(0..self.layout.migratory.max(1));
-                self.pending.push(CpuOp::Rmw(Block(self.layout.migratory_base + off)));
+                self.pending
+                    .push(CpuOp::Rmw(Block(self.layout.migratory_base + off)));
             }
             3 => {
                 // Produce into our own ring or consume another CPU's.
@@ -290,7 +292,10 @@ impl Iterator for CpuStream {
             self.fill_pattern();
         }
         let op = self.pending.pop().expect("pattern fills at least one op");
-        Some(TraceItem { gap_instructions: self.gap(), op })
+        Some(TraceItem {
+            gap_instructions: self.gap(),
+            op,
+        })
     }
 }
 

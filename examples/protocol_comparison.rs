@@ -1,13 +1,13 @@
 //! The paper's headline experiment in miniature: TS-Snoop vs DirClassic
-//! vs DirOpt on one workload and both topologies, with the runtime and
-//! bandwidth trade-off printed side by side (Figures 3 and 4).
+//! vs DirOpt on one workload and both topologies, run as one declarative
+//! [`ExperimentGrid`] with the runtime and bandwidth trade-off printed
+//! side by side (Figures 3 and 4).
 //!
 //! ```sh
 //! cargo run --release -p tss-examples --bin protocol_comparison [-- dss|oltp|apache|altavista|barnes]
 //! ```
 
-use tss::methodology::min_over_perturbations;
-use tss::{ProtocolKind, SystemConfig, TopologyKind};
+use tss::experiment::ExperimentGrid;
 use tss_workloads::paper;
 
 fn main() {
@@ -26,18 +26,27 @@ fn main() {
         spec.name,
         scale * 100.0
     );
-    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
+
+    // One grid call replaces the old hand-rolled double loop: cells run
+    // in parallel and the §4.3 min-over-perturbations happens inside.
+    let report = ExperimentGrid::new("protocol_comparison")
+        .workloads(vec![spec])
+        .perturbation(4, 3)
+        .run()
+        .expect("a paper-default grid is valid");
+
+    for &topology in &report.topologies {
         println!("[{}]", topology.label());
         println!(
             "{:<12} {:>12} {:>10} {:>14} {:>10} {:>8}",
             "protocol", "runtime", "vs TS", "link-bytes", "vs TS", "nacks"
         );
         let mut base: Option<(u64, u64)> = None;
-        for protocol in ProtocolKind::ALL {
-            let mut cfg = SystemConfig::paper_default(protocol, topology);
-            cfg.perturbation_ns = 4;
-            let stats = min_over_perturbations(&cfg, &spec, 3);
-            let (rt, bytes) = (stats.runtime.as_ns(), stats.traffic.total());
+        for &protocol in &report.protocols {
+            let cell = report
+                .cell(&report.workloads[0], topology, protocol)
+                .expect("full grid");
+            let (rt, bytes) = (cell.runtime_ns(), cell.total_bytes());
             let (rt0, by0) = *base.get_or_insert((rt, bytes));
             println!(
                 "{:<12} {:>10}ns {:>9.2}x {:>14} {:>9.2}x {:>8}",
@@ -46,7 +55,7 @@ fn main() {
                 rt as f64 / rt0 as f64,
                 bytes,
                 bytes as f64 / by0 as f64,
-                stats.protocol.nacks
+                cell.stats.protocol.nacks
             );
         }
         println!();

@@ -1,26 +1,37 @@
-//! Quickstart: build a 16-processor timestamp-snooping system, run a small
-//! OLTP-like workload, and print what the paper's evaluation measures.
+//! Quickstart: build a 16-processor timestamp-snooping system with the
+//! validated builder, run a small OLTP-like workload, and print what the
+//! paper's evaluation measures.
 //!
 //! ```sh
 //! cargo run --release -p tss-examples --bin quickstart
 //! ```
 
-use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss::{ProtocolKind, System, TopologyKind};
 use tss_workloads::paper;
 
 fn main() {
-    // The paper's target system (§4.2): 16 SPARC-class nodes, 4 MB 4-way
-    // L2s, Table 2 timing, four radix-4 butterflies for the address and
-    // data networks.
-    let mut cfg = SystemConfig::paper_default(ProtocolKind::TsSnoop, TopologyKind::Butterfly16);
-    cfg.verify = true; // run the coherence checker too
-
     // A 1%-scale OLTP stand-in (Table 1): 16 concurrent transaction
     // streams with migratory records, shared indices and lock handoffs.
     let workload = paper::oltp(0.01);
-    println!("workload : {} ({} refs/cpu)", workload.name, workload.ops_per_cpu);
+    println!(
+        "workload : {} ({} refs/cpu)",
+        workload.name, workload.ops_per_cpu
+    );
 
-    let result = System::run_workload(cfg, &workload);
+    // The paper's target system (§4.2): 16 SPARC-class nodes, 4 MB 4-way
+    // L2s, Table 2 timing, four radix-4 butterflies for the address and
+    // data networks. The builder validates the whole configuration up
+    // front — an impossible topology or empty workload is a typed
+    // ConfigError here, not a panic mid-run.
+    let system = System::builder()
+        .protocol(ProtocolKind::TsSnoop)
+        .topology(TopologyKind::Butterfly16)
+        .workload(workload)
+        .verify(true) // run the coherence checker too
+        .build()
+        .expect("the paper configuration is valid");
+
+    let result = system.run();
     let s = &result.stats;
 
     println!("runtime  : {}", s.runtime);

@@ -1,1 +1,3 @@
-//! Example binaries live in src/bin; see README.
+//! Example binaries (quickstart, protocol_comparison, token_passing,
+//! topology_tour) live next to this crate's manifest; see the README
+//! quickstart for what each demonstrates.

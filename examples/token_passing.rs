@@ -74,9 +74,8 @@ fn whole_network() {
     }
     let s = net.stats();
     println!(
-        "\ntoken rounds completed: {} (one per {}), worst ordering delay {} ns",
+        "\ntoken rounds completed: {} (one per 15 ns link traversal), worst ordering delay {} ns",
         s.min_endpoint_gt,
-        "15 ns link traversal",
         s.ordering_delay.max().unwrap().as_ns()
     );
 }

@@ -25,9 +25,7 @@ fn describe(name: &str, fabric: &Fabric) {
     );
     println!(
         "  broadcast from n0: {} links, depth {} ({} ns one-way max)",
-        tree.weighted_link_count,
-        tree.max_depth_weighted,
-        lat.one_way_max
+        tree.weighted_link_count, tree.max_depth_weighted, lat.one_way_max
     );
     let unbalanced = tree.edges.iter().filter(|e| e.delta_d > 0).count();
     println!(
@@ -50,7 +48,13 @@ fn describe(name: &str, fabric: &Fabric) {
 fn ascii_torus() {
     println!("4x4 bidirectional torus (Figure 2, right; wraparound links not drawn):");
     for y in 0..4 {
-        println!("   P{:<2}--P{:<2}--P{:<2}--P{:<2}", 4 * y, 4 * y + 1, 4 * y + 2, 4 * y + 3);
+        println!(
+            "   P{:<2}--P{:<2}--P{:<2}--P{:<2}",
+            4 * y,
+            4 * y + 1,
+            4 * y + 2,
+            4 * y + 3
+        );
         if y < 3 {
             println!("   |     |     |     |");
         }
@@ -71,7 +75,10 @@ fn ascii_butterfly() {
 
 fn main() {
     ascii_butterfly();
-    describe("4x radix-4 butterfly, 16 nodes (paper)", &Fabric::butterfly16());
+    describe(
+        "4x radix-4 butterfly, 16 nodes (paper)",
+        &Fabric::butterfly16(),
+    );
     ascii_torus();
     describe("4x4 torus, 16 nodes (paper)", &Fabric::torus4x4());
 

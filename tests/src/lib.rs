@@ -1,1 +1,5 @@
-//! Integration tests live in the tests/ directory of this package.
+//! Integration tests live in the tests/ directory of this package:
+//! litmus (sequential consistency), equivalence (fast vs detailed
+//! network), figures_shape (paper headline results), protocols_agree
+//! (cross-protocol functional agreement), property (randomized
+//! invariants), and experiment_api (builder/grid/report surface).

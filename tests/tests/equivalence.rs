@@ -9,11 +9,12 @@
 
 use std::sync::Arc;
 
-use tss_net::{
-    DetailedNet, DetailedNetConfig, Fabric, FastOrderedNet, NodeId, OrderedNetTiming,
-};
+use tss_net::{DetailedNet, DetailedNetConfig, Fabric, FastOrderedNet, NodeId, OrderedNetTiming};
 use tss_sim::rng::SimRng;
 use tss_sim::{Duration, Time};
+
+/// Per-endpoint (payload, processed_at) delivery sequences.
+type EndpointLogs = Vec<Vec<(u32, u64)>>;
 
 /// Runs the same injection schedule through both models and returns
 /// per-endpoint (payload, processed_at) sequences.
@@ -22,7 +23,7 @@ fn run_both(
     link_ns: u64,
     slack: u64,
     injections: &[(u64, u16, u32)],
-) -> (Vec<Vec<(u32, u64)>>, Vec<Vec<(u32, u64)>>) {
+) -> (EndpointLogs, EndpointLogs) {
     let n = fabric.num_nodes();
     let fabric = Arc::new(fabric);
 
@@ -30,7 +31,7 @@ fn run_both(
         Arc::clone(&fabric),
         OrderedNetTiming::uniform(Duration::from_ns(link_ns), slack),
     );
-    let mut fast_out: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    let mut fast_out: EndpointLogs = vec![Vec::new(); n];
     let mut deadlines = Vec::new();
     for &(t, src, payload) in injections {
         deadlines.push(fast.inject(Time::from_ns(t), NodeId(src), payload));
@@ -53,7 +54,7 @@ fn run_both(
         detailed.inject(Time::from_ns(t), NodeId(src), payload);
     }
     detailed.run_until(last + Duration::from_ns(20 * link_ns));
-    let mut det_out: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    let mut det_out: EndpointLogs = vec![Vec::new(); n];
     for d in detailed.take_deliveries() {
         det_out[d.dest.index()].push((*d.payload, d.processed_at.as_ns()));
     }

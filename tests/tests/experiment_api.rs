@@ -1,0 +1,205 @@
+//! Integration tests for the experiment API surface: the validated
+//! builder, the declarative grid runner, and the JSON report artifacts.
+
+use tss::experiment::{ExperimentGrid, GridReport, SCHEMA_VERSION};
+use tss::{ConfigError, ProtocolKind, System, TopologyKind};
+use tss_bench::Cli;
+use tss_proto::CacheConfig;
+use tss_workloads::paper;
+
+fn tiny_grid(seed: u64) -> ExperimentGrid {
+    ExperimentGrid::new("api-test")
+        .workloads(vec![paper::barnes(0.001), paper::dss(0.001)])
+        .topologies([TopologyKind::Torus4x4])
+        .seeds([seed])
+        .cache(CacheConfig::tiny(1024, 4))
+        .perturbation(3, 2)
+}
+
+// ---------------------------------------------------------- builder errors
+
+#[test]
+fn builder_reports_typed_errors_for_each_inconsistency() {
+    // Torus dims inconsistent with a usable node count.
+    let err = System::builder()
+        .topology(TopologyKind::Torus {
+            width: 1,
+            height: 9,
+        })
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, ConfigError::DegenerateTopology { .. }),
+        "{err}"
+    );
+
+    // Node count overflowing u16.
+    let err = System::builder()
+        .topology(TopologyKind::Butterfly {
+            radix: 4,
+            stages: 9,
+            planes: 1,
+        })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::TooManyNodes { .. }), "{err}");
+
+    // Zero processor rate ("zero scale").
+    let err = System::builder()
+        .instructions_per_ns(0)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ConfigError::ZeroProcessorRate);
+
+    // A workload that would issue nothing.
+    let mut empty = paper::barnes(0.01);
+    empty.ops_per_cpu = 0;
+    let err = System::builder().workload(empty).build().unwrap_err();
+    assert!(matches!(err, ConfigError::EmptyWorkload { .. }), "{err}");
+
+    // Errors are std::error::Error with useful messages.
+    let err: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroTick);
+    assert!(err.to_string().contains("tick"));
+}
+
+#[test]
+fn grid_validates_every_cell_before_running() {
+    let err = tiny_grid(0)
+        .topologies([
+            TopologyKind::Torus4x4,
+            TopologyKind::Torus {
+                width: 0,
+                height: 2,
+            },
+        ])
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, ConfigError::DegenerateTopology { .. }),
+        "{err}"
+    );
+    let err = tiny_grid(0).workloads(vec![]).run().unwrap_err();
+    assert_eq!(err, ConfigError::EmptyAxis { axis: "workloads" });
+}
+
+// ------------------------------------------------------------ determinism
+
+#[test]
+fn same_grid_same_seed_is_byte_identical() {
+    let a = tiny_grid(7).run().unwrap().to_json();
+    let b = tiny_grid(7).threads(1).run().unwrap().to_json();
+    assert_eq!(a, b, "same grid + same seed must produce identical JSON");
+    let c = tiny_grid(8).run().unwrap().to_json();
+    assert_ne!(a, c, "a different seed must show up in the artifact");
+}
+
+// ------------------------------------------------------------- round trip
+
+#[test]
+fn report_round_trips_through_serde_json() {
+    let report = tiny_grid(1).run().unwrap();
+    assert_eq!(report.schema, SCHEMA_VERSION);
+    assert_eq!(report.cells.len(), 2 * 3); // 2 workloads x 1 topology x 3 protocols
+
+    let json = report.to_json();
+    let back = GridReport::from_json(&json).unwrap();
+    assert_eq!(back.to_json(), json, "parse → re-render is the identity");
+
+    // Typed content survives, not just the bytes.
+    assert_eq!(back.name, "api-test");
+    assert_eq!(back.perturbation_ns, 3);
+    assert_eq!(back.perturbation_runs, 2);
+    for (orig, parsed) in report.cells.iter().zip(&back.cells) {
+        assert_eq!(orig.protocol, parsed.protocol);
+        assert_eq!(orig.topology, parsed.topology);
+        assert_eq!(orig.runtime_ns(), parsed.runtime_ns());
+        assert_eq!(orig.stats.protocol.misses, parsed.stats.protocol.misses);
+        assert_eq!(orig.stats.traffic.total(), parsed.stats.traffic.total());
+        assert_eq!(
+            orig.stats.miss_latency.count(),
+            parsed.stats.miss_latency.count()
+        );
+    }
+
+    // And the generic value layer agrees with the typed layer.
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(
+        value.get("schema"),
+        Some(&serde_json::Value::U64(u64::from(SCHEMA_VERSION)))
+    );
+}
+
+#[test]
+fn json_flag_writes_a_loadable_artifact() {
+    let dir = std::env::temp_dir().join(format!("tss-api-test-{}", std::process::id()));
+    let path = dir.join("nested/report.json");
+    let args: Vec<String> = [
+        "--workloads",
+        "barnes",
+        "--scale",
+        "0.001",
+        "--seeds",
+        "1",
+        "--topologies",
+        "torus",
+        "--json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([path.to_string_lossy().into_owned()])
+    .collect();
+    let cli = Cli::parse_from(&args).unwrap();
+    let report = cli.grid("json-flag-test").run().unwrap();
+    report.write_json(&path).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.ends_with('\n'), "artifact ends with a newline");
+    let back = GridReport::from_json(&text).unwrap();
+    assert_eq!(back.cells.len(), report.cells.len());
+    assert_eq!(back.to_json() + "\n", text);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------------ api surface
+
+#[test]
+fn cell_lookup_and_helpers_agree_with_stats() {
+    let report = tiny_grid(2).run().unwrap();
+    let cell = report
+        .cell("Barnes", TopologyKind::Torus4x4, ProtocolKind::TsSnoop)
+        .expect("cell exists");
+    assert_eq!(cell.runtime_ns(), cell.stats.runtime.as_ns());
+    assert_eq!(cell.total_bytes(), cell.stats.traffic.total());
+    assert!((cell.c2c_fraction() - cell.stats.c2c_fraction()).abs() < 1e-12);
+    assert!(report
+        .cell("Barnes", TopologyKind::Butterfly16, ProtocolKind::TsSnoop)
+        .is_none());
+}
+
+#[test]
+fn builder_and_legacy_paths_agree() {
+    // The builder is a strict front-end: same config, same deterministic
+    // simulation as the SystemConfig path it replaced.
+    let spec = paper::barnes(0.001);
+    let via_builder = System::builder()
+        .protocol(ProtocolKind::DirClassic)
+        .topology(TopologyKind::Torus4x4)
+        .workload(spec.clone())
+        .seed(5)
+        .build()
+        .unwrap()
+        .run();
+    let mut cfg =
+        tss::SystemConfig::paper_default(ProtocolKind::DirClassic, TopologyKind::Torus4x4);
+    cfg.seed = 5;
+    let via_config = System::run_workload(cfg, &spec);
+    assert_eq!(via_builder.stats.runtime, via_config.stats.runtime);
+    assert_eq!(
+        via_builder.stats.protocol.misses,
+        via_config.stats.protocol.misses
+    );
+    assert_eq!(
+        via_builder.stats.traffic.total(),
+        via_config.stats.traffic.total()
+    );
+}

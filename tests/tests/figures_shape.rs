@@ -7,47 +7,60 @@
 //!   produces nack traffic; TS-Snoop's extra stays under the §5 bound.
 //! * Table 3: the synthetic workloads land near their calibrated
 //!   cache-to-cache fractions.
+//!
+//! The whole 5 × 2 × 3 grid runs once through [`ExperimentGrid`] (cells
+//! in parallel) and every test reads from the shared report.
 
-use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
-use tss_bench::Cell;
+use std::sync::OnceLock;
+
+use tss::experiment::{ExperimentGrid, GridReport, RunReport};
+use tss::{ProtocolKind, TopologyKind};
 use tss_workloads::paper;
 
 const SCALE: f64 = 1.0 / 400.0;
 
-fn run(spec_idx: usize, topology: TopologyKind, protocol: ProtocolKind) -> Cell {
-    let spec = &paper::all(SCALE)[spec_idx];
-    let mut cfg = SystemConfig::paper_default(protocol, topology);
-    cfg.seed = 1;
-    let stats = System::run_workload(cfg, spec).stats;
-    Cell::from_stats(&spec.name, topology, protocol, &stats)
+fn report() -> &'static GridReport {
+    static REPORT: OnceLock<GridReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        ExperimentGrid::new("figures-shape")
+            .workloads(paper::all(SCALE))
+            .seeds([1])
+            .run()
+            .expect("the paper grid is valid")
+    })
 }
+
+fn cell(workload: &str, topology: TopologyKind, protocol: ProtocolKind) -> &'static RunReport {
+    report()
+        .cell(workload, topology, protocol)
+        .unwrap_or_else(|| panic!("missing cell {workload}/{topology}/{protocol}"))
+}
+
+const WORKLOADS: [&str; 5] = ["OLTP", "DSS", "Apache", "AltaVista", "Barnes"];
 
 #[test]
 fn figure3_shape_ts_snoop_wins_everywhere() {
-    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
-        for w in 0..5 {
-            let ts = run(w, topology, ProtocolKind::TsSnoop);
-            let dc = run(w, topology, ProtocolKind::DirClassic);
-            let dopt = run(w, topology, ProtocolKind::DirOpt);
+    for topology in TopologyKind::PAPER {
+        for w in WORKLOADS {
+            let ts = cell(w, topology, ProtocolKind::TsSnoop);
+            let dc = cell(w, topology, ProtocolKind::DirClassic);
+            let dopt = cell(w, topology, ProtocolKind::DirOpt);
             assert!(
-                ts.runtime_ns < dc.runtime_ns,
-                "{} {}: TS {} !< DirClassic {}",
-                ts.workload,
-                ts.topology,
-                ts.runtime_ns,
-                dc.runtime_ns
+                ts.runtime_ns() < dc.runtime_ns(),
+                "{w} {}: TS {} !< DirClassic {}",
+                topology.label(),
+                ts.runtime_ns(),
+                dc.runtime_ns()
             );
             assert!(
-                ts.runtime_ns < dopt.runtime_ns,
-                "{} {}: TS !< DirOpt",
-                ts.workload,
-                ts.topology
+                ts.runtime_ns() < dopt.runtime_ns(),
+                "{w} {}: TS !< DirOpt",
+                topology.label()
             );
             assert!(
-                dopt.runtime_ns <= dc.runtime_ns,
-                "{} {}: DirOpt should not lose to DirClassic",
-                ts.workload,
-                ts.topology
+                dopt.runtime_ns() <= dc.runtime_ns(),
+                "{w} {}: DirOpt should not lose to DirClassic",
+                topology.label()
             );
         }
     }
@@ -57,14 +70,14 @@ fn figure3_shape_ts_snoop_wins_everywhere() {
 fn figure3_dss_is_dirclassics_pathology() {
     let topology = TopologyKind::Butterfly16;
     let mut ratios = Vec::new();
-    for w in 0..5 {
-        let ts = run(w, topology, ProtocolKind::TsSnoop);
-        let dc = run(w, topology, ProtocolKind::DirClassic);
-        ratios.push((ts.workload.clone(), dc.runtime_ns as f64 / ts.runtime_ns as f64));
+    for w in WORKLOADS {
+        let ts = cell(w, topology, ProtocolKind::TsSnoop);
+        let dc = cell(w, topology, ProtocolKind::DirClassic);
+        ratios.push((w, dc.runtime_ns() as f64 / ts.runtime_ns() as f64));
     }
-    let dss = ratios.iter().find(|(w, _)| w == "DSS").unwrap().1;
+    let dss = ratios.iter().find(|(w, _)| *w == "DSS").unwrap().1;
     for (w, r) in &ratios {
-        if w != "DSS" {
+        if *w != "DSS" {
             assert!(
                 dss > *r,
                 "DSS ({dss:.2}x) should be DirClassic's worst case, but {w} is {r:.2}x"
@@ -72,35 +85,40 @@ fn figure3_dss_is_dirclassics_pathology() {
         }
     }
     // And the nack storm is the reason.
-    let dc_dss = run(1, topology, ProtocolKind::DirClassic);
-    assert!(dc_dss.nacks > 0, "DSS under DirClassic must nack");
+    let dc_dss = cell("DSS", topology, ProtocolKind::DirClassic);
+    assert!(
+        dc_dss.stats.protocol.nacks > 0,
+        "DSS under DirClassic must nack"
+    );
 }
 
 #[test]
 fn figure4_shape_bandwidth_ordering_and_classes() {
-    for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
-        for w in 0..5 {
-            let ts = run(w, topology, ProtocolKind::TsSnoop);
-            let dc = run(w, topology, ProtocolKind::DirClassic);
-            let dopt = run(w, topology, ProtocolKind::DirOpt);
+    for topology in TopologyKind::PAPER {
+        for w in WORKLOADS {
+            let ts = cell(w, topology, ProtocolKind::TsSnoop);
+            let dc = cell(w, topology, ProtocolKind::DirClassic);
+            let dopt = cell(w, topology, ProtocolKind::DirOpt);
             // Snooping buys latency with bandwidth (§7).
             assert!(ts.total_bytes() > dc.total_bytes());
             assert!(ts.total_bytes() > dopt.total_bytes());
             // ...but never beyond the §5 back-of-the-envelope bound.
-            let bound = 1.0
-                + tss::analytic::bandwidth_bound(&topology.build(), 64).extra_fraction();
+            let bound =
+                1.0 + tss::analytic::bandwidth_bound(&topology.build(), 64).extra_fraction();
             let worst = ts.total_bytes() as f64 / dopt.total_bytes() as f64;
             assert!(
                 worst < bound + 0.05,
-                "{} {}: measured extra {worst:.2} exceeds bound {bound:.2}",
-                ts.workload,
+                "{w} {}: measured extra {worst:.2} exceeds bound {bound:.2}",
                 topology.label()
             );
             // Class decomposition: snooping has no nack/misc traffic.
-            assert_eq!(ts.nack_bytes, 0);
-            assert_eq!(ts.misc_bytes, 0);
-            assert_eq!(dopt.nack_bytes, 0, "DirOpt never nacks");
-            assert!(dc.misc_bytes > 0, "directories pay overhead messages");
+            assert_eq!(ts.stats.traffic.nack_bytes, 0);
+            assert_eq!(ts.stats.traffic.misc_bytes, 0);
+            assert_eq!(dopt.stats.traffic.nack_bytes, 0, "DirOpt never nacks");
+            assert!(
+                dc.stats.traffic.misc_bytes > 0,
+                "directories pay overhead messages"
+            );
         }
     }
 }
@@ -110,13 +128,12 @@ fn table3_c2c_fractions_in_band() {
     // Scaled-down runs drift a little from the 1/64-scale calibration;
     // allow +-12 points around the paper's column 4.
     let targets: [f64; 5] = [43.0, 60.0, 40.0, 40.0, 43.0];
-    for (w, target) in (0..5).zip(targets) {
-        let cell = run(w, TopologyKind::Butterfly16, ProtocolKind::TsSnoop);
-        let got = 100.0 * cell.c2c_fraction();
+    for (w, target) in WORKLOADS.into_iter().zip(targets) {
+        let c = cell(w, TopologyKind::Butterfly16, ProtocolKind::TsSnoop);
+        let got = 100.0 * c.c2c_fraction();
         assert!(
             (got - target).abs() < 12.0,
-            "{}: 3-hop fraction {got:.0}% vs paper {target}%",
-            cell.workload
+            "{w}: 3-hop fraction {got:.0}% vs paper {target}%"
         );
     }
 }
@@ -127,10 +144,10 @@ fn over_one_third_of_misses_are_cache_to_cache() {
     // misses by these applications result in cache-to-cache transfers."
     let mut total = 0u64;
     let mut c2c = 0u64;
-    for w in 0..5 {
-        let cell = run(w, TopologyKind::Butterfly16, ProtocolKind::TsSnoop);
-        total += cell.misses;
-        c2c += cell.cache_to_cache;
+    for w in WORKLOADS {
+        let cellw = cell(w, TopologyKind::Butterfly16, ProtocolKind::TsSnoop);
+        total += cellw.stats.protocol.misses;
+        c2c += cellw.stats.protocol.cache_to_cache;
     }
     assert!(
         c2c as f64 / total as f64 > 1.0 / 3.0,

@@ -10,8 +10,8 @@
 //! Stores increment a block's value, so "flag set" reads as value 1 and
 //! "data written" as value >= 1.
 
-use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
-use tss_proto::{Block, CpuOp};
+use tss::{ProtocolKind, System, TopologyKind};
+use tss_proto::{Block, CacheConfig, CpuOp};
 use tss_workloads::micro::scripted;
 
 fn run(
@@ -21,16 +21,24 @@ fn run(
     gaps: (u64, u64),
     ops: Vec<Vec<CpuOp>>,
 ) -> Vec<Vec<(CpuOp, u64)>> {
-    let mut cfg = SystemConfig::test_default(protocol, topology);
-    cfg.record_observations = true;
-    cfg.perturbation_ns = 6;
-    cfg.seed = seed;
     let mut traces = scripted(ops, gaps.0);
     // Skew the second CPU so interleavings vary across seeds.
     for item in traces[1].iter_mut() {
         item.gap_instructions = gaps.1;
     }
-    System::run_traces(cfg, traces).observations
+    System::builder()
+        .protocol(protocol)
+        .topology(topology)
+        .cache(CacheConfig::tiny(256, 4))
+        .verify(true)
+        .record_observations(true)
+        .perturbation_ns(6)
+        .seed(seed)
+        .traces(traces)
+        .build()
+        .expect("litmus configs are valid")
+        .run()
+        .observations
 }
 
 fn grid() -> impl Iterator<Item = (ProtocolKind, TopologyKind, u64)> {
@@ -97,22 +105,19 @@ fn coherence_order() {
                 t.label()
             );
         }
-        // All three stores must survive.
-        let final_read = {
-            let obs2 = run(
-                p,
-                t,
-                seed,
-                (30, 50),
-                vec![
-                    vec![CpuOp::Store(b), CpuOp::Store(b)],
-                    vec![CpuOp::Store(b)],
-                    vec![],
-                ],
-            );
-            let _ = obs2;
-        };
-        let _ = final_read;
+        // All three stores must survive (the checker inside run() panics
+        // on a lost update).
+        run(
+            p,
+            t,
+            seed,
+            (30, 50),
+            vec![
+                vec![CpuOp::Store(b), CpuOp::Store(b)],
+                vec![CpuOp::Store(b)],
+                vec![],
+            ],
+        );
     }
 }
 
@@ -127,10 +132,7 @@ fn rmw_atomicity() {
             t,
             seed,
             (25, 35),
-            vec![
-                vec![CpuOp::Rmw(lock); 8],
-                vec![CpuOp::Rmw(lock); 8],
-            ],
+            vec![vec![CpuOp::Rmw(lock); 8], vec![CpuOp::Rmw(lock); 8]],
         );
         let mut seen: Vec<u64> = obs[0]
             .iter()
@@ -139,7 +141,12 @@ fn rmw_atomicity() {
             .collect();
         seen.sort_unstable();
         let expect: Vec<u64> = (0..16).collect();
-        assert_eq!(seen, expect, "{p}/{}/seed{seed}: lost or duplicated RMW", t.label());
+        assert_eq!(
+            seen,
+            expect,
+            "{p}/{}/seed{seed}: lost or duplicated RMW",
+            t.label()
+        );
     }
 }
 
@@ -180,10 +187,6 @@ fn iriw_observers_agree() {
     let x = Block(0x500);
     let y = Block(0x510);
     for (p, t, seed) in grid() {
-        let mut cfg = SystemConfig::test_default(p, t);
-        cfg.record_observations = true;
-        cfg.perturbation_ns = 6;
-        cfg.seed = seed;
         let traces = scripted(
             vec![
                 vec![CpuOp::Store(x)],
@@ -193,7 +196,19 @@ fn iriw_observers_agree() {
             ],
             35,
         );
-        let obs = System::run_traces(cfg, traces).observations;
+        let obs = System::builder()
+            .protocol(p)
+            .topology(t)
+            .cache(CacheConfig::tiny(256, 4))
+            .verify(true)
+            .record_observations(true)
+            .perturbation_ns(6)
+            .seed(seed)
+            .traces(traces)
+            .build()
+            .expect("litmus configs are valid")
+            .run()
+            .observations;
         let (x1, y1) = (obs[2][0].1, obs[2][1].1);
         let (y2, x2) = (obs[3][0].1, obs[3][1].1);
         // Forbidden: observer 2 sees x before y AND observer 3 sees y

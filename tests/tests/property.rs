@@ -1,87 +1,105 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Randomized property tests on the core invariants.
+//!
+//! The offline build has no `proptest`, so these run the same invariants
+//! over seeded random cases drawn from [`SimRng`]: every case is fully
+//! determined by its loop index, so failures reproduce exactly (the
+//! panic message names the case seed).
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
-use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss::{ProtocolKind, System, TopologyKind};
 use tss_net::{DetailedNet, DetailedNetConfig, Fabric, NodeId};
 use tss_proto::{Block, CpuOp};
+use tss_sim::rng::SimRng;
 use tss_sim::{Duration, Time};
 use tss_workloads::TraceItem;
 
-/// Any valid fabric: random butterflies and tori.
-fn fabric_strategy() -> impl Strategy<Value = Fabric> {
-    prop_oneof![
-        (2u32..=4, 1u32..=3, 1u32..=2).prop_map(|(r, s, p)| {
-            // Cap the node count to keep runs fast.
-            let s = if (r as u64).pow(s) > 64 { 2 } else { s };
-            Fabric::butterfly(r, s, p)
-        }),
-        (2u32..=6, 2u32..=6).prop_map(|(w, h)| Fabric::torus(w, h)),
-    ]
+/// Any valid fabric: random butterflies and tori, capped to keep runs fast.
+fn random_fabric(rng: &mut SimRng) -> Fabric {
+    if rng.chance(0.5) {
+        let radix = 2 + rng.gen_range(0..3) as u32; // 2..=4
+        let mut stages = 1 + rng.gen_range(0..3) as u32; // 1..=3
+        if (radix as u64).pow(stages) > 64 {
+            stages = 2;
+        }
+        let planes = 1 + rng.gen_range(0..2) as u32; // 1..=2
+        Fabric::butterfly(radix, stages, planes)
+    } else {
+        let width = 2 + rng.gen_range(0..5) as u32; // 2..=6
+        let height = 2 + rng.gen_range(0..5) as u32;
+        Fabric::torus(width, height)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Broadcast trees reach every node exactly once, within the weighted
-    /// diameter, and ΔD never exceeds the remaining depth.
-    #[test]
-    fn broadcast_trees_are_sound(fabric in fabric_strategy(), src_sel in 0usize..64) {
+/// Broadcast trees reach every node exactly once, within the weighted
+/// diameter, and ΔD never exceeds the remaining depth.
+#[test]
+fn broadcast_trees_are_sound() {
+    for case in 0..32u64 {
+        let mut rng = SimRng::from_seed_and_stream(case, 0xB0);
+        let fabric = random_fabric(&mut rng);
         let n = fabric.num_nodes();
-        let src = NodeId((src_sel % n) as u16);
+        let src = NodeId(rng.index(n) as u16);
         for plane in 0..fabric.planes() {
             let tree = fabric.tree(plane, src);
             // Every node delivered at a positive-or-zero depth <= max.
             for d in 0..n {
-                prop_assert!(tree.node_depth_weighted[d] <= tree.max_depth_weighted);
+                assert!(
+                    tree.node_depth_weighted[d] <= tree.max_depth_weighted,
+                    "case {case}: node {d} deeper than max"
+                );
             }
             // Each tree edge's ΔD is bounded by the tree depth.
             for e in &tree.edges {
-                prop_assert!(e.delta_d <= tree.max_depth_links);
+                assert!(e.delta_d <= tree.max_depth_links, "case {case}");
             }
             // The tree delivers to exactly n node endpoints (each node
             // exactly once: every node-terminated edge is distinct).
             let node_hits = tree
                 .edges
                 .iter()
-                .filter(|e| {
-                    fabric.links()[e.link.index()]
-                        .to
-                        .as_node(n)
-                        .is_some()
-                })
+                .filter(|e| fabric.links()[e.link.index()].to.as_node(n).is_some())
                 .count();
-            prop_assert_eq!(node_hits, n);
+            assert_eq!(node_hits, n, "case {case}");
         }
     }
+}
 
-    /// Distances are symmetric and satisfy the triangle inequality through
-    /// the broadcast structure.
-    #[test]
-    fn distances_are_metric(fabric in fabric_strategy()) {
+/// Distances are symmetric and satisfy the diameter bound.
+#[test]
+fn distances_are_metric() {
+    for case in 0..32u64 {
+        let mut rng = SimRng::from_seed_and_stream(case, 0xD1);
+        let fabric = random_fabric(&mut rng);
         let n = fabric.num_nodes();
         for a in 0..n {
-            prop_assert_eq!(fabric.distance(NodeId(a as u16), NodeId(a as u16)), 0);
+            assert_eq!(fabric.distance(NodeId(a as u16), NodeId(a as u16)), 0);
             for b in 0..n {
                 let ab = fabric.distance(NodeId(a as u16), NodeId(b as u16));
                 let ba = fabric.distance(NodeId(b as u16), NodeId(a as u16));
-                prop_assert_eq!(ab, ba);
-                prop_assert!(ab <= fabric.max_distance());
+                assert_eq!(ab, ba, "case {case}: {a}<->{b} asymmetric");
+                assert!(ab <= fabric.max_distance(), "case {case}");
             }
         }
     }
+}
 
-    /// The detailed token network establishes one total order at every
-    /// endpoint, for any injection schedule, slack and (mild) contention.
-    /// (Its internal assertions additionally verify the OT bookkeeping on
-    /// every hop.)
-    #[test]
-    fn token_network_total_order(
-        seed_times in prop::collection::vec((0u64..400, 0u16..16, 0u64..30), 1..25),
-        slack in 0u64..6,
-        occupancy in prop_oneof![Just(0u64), Just(8), Just(25)],
-    ) {
+/// The detailed token network establishes one total order at every
+/// endpoint, for any injection schedule, slack and (mild) contention.
+/// (Its internal assertions additionally verify the OT bookkeeping on
+/// every hop.)
+#[test]
+fn token_network_total_order() {
+    for case in 0..32u64 {
+        let mut rng = SimRng::from_seed_and_stream(case, 0x70);
+        let count = 1 + rng.index(24);
+        let slack = rng.gen_range(0..6);
+        let occupancy = [0u64, 8, 25][rng.index(3)];
+        let mut schedule: Vec<(u64, u16)> = (0..count)
+            .map(|_| (rng.gen_range(0..400), rng.index(16) as u16))
+            .collect();
+        schedule.sort();
+
         let fabric = Arc::new(Fabric::torus4x4());
         let mut net: DetailedNet<u64> = DetailedNet::new(
             Arc::clone(&fabric),
@@ -92,36 +110,33 @@ proptest! {
                 plane: 0,
             },
         );
-        let mut schedule: Vec<(u64, u16, u64)> = seed_times;
-        schedule.sort();
-        for (i, &(t, src, _)) in schedule.iter().enumerate() {
-            net.inject(Time::from_ns(t), NodeId(src % 16), i as u64);
+        for (i, &(t, src)) in schedule.iter().enumerate() {
+            net.inject(Time::from_ns(t), NodeId(src), i as u64);
         }
         net.run_until(Time::from_ns(30_000));
         let deliveries = net.take_deliveries();
-        prop_assert_eq!(deliveries.len(), schedule.len() * 16);
+        assert_eq!(deliveries.len(), schedule.len() * 16, "case {case}");
         let mut orders: Vec<Vec<u64>> = vec![Vec::new(); 16];
         for d in &deliveries {
             orders[d.dest.index()].push(*d.payload);
         }
         for o in &orders[1..] {
-            prop_assert_eq!(o, &orders[0]);
+            assert_eq!(o, &orders[0], "case {case}: endpoints disagree on order");
         }
     }
 }
 
-/// Random op soup: every protocol must preserve every store and never
-/// deadlock, on randomly generated conflicting traces.
-fn random_traces(seed: &[(u8, u8, u8)], cpus: usize) -> Vec<Vec<TraceItem>> {
+/// Random op soup over 12 hot blocks on 8 CPUs.
+fn random_traces(rng: &mut SimRng, ops: usize, cpus: usize) -> Vec<Vec<TraceItem>> {
     let mut traces: Vec<Vec<TraceItem>> = vec![Vec::new(); cpus];
-    for (i, &(cpu, kind, blk)) in seed.iter().enumerate() {
-        let block = Block(0x500 + (blk % 12) as u64); // 12 hot blocks
-        let op = match kind % 3 {
+    for i in 0..ops {
+        let block = Block(0x500 + rng.gen_range(0..12)); // 12 hot blocks
+        let op = match rng.index(3) {
             0 => CpuOp::Load(block),
             1 => CpuOp::Store(block),
             _ => CpuOp::Rmw(block),
         };
-        traces[cpu as usize % cpus].push(TraceItem {
+        traces[rng.index(cpus)].push(TraceItem {
             gap_instructions: 1 + (i as u64 * 13) % 120,
             op,
         });
@@ -129,23 +144,30 @@ fn random_traces(seed: &[(u8, u8, u8)], cpus: usize) -> Vec<Vec<TraceItem>> {
     traces
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn protocols_preserve_all_stores(
-        ops in prop::collection::vec((0u8..8, 0u8..3, 0u8..12), 1..120),
-        protocol_sel in 0usize..3,
-        topo_sel in 0usize..2,
-        perturb in 0u64..8,
-    ) {
-        let protocol = ProtocolKind::ALL[protocol_sel];
-        let topology = [TopologyKind::Butterfly16, TopologyKind::Torus4x4][topo_sel];
-        let mut cfg = SystemConfig::test_default(protocol, topology);
-        cfg.perturbation_ns = perturb;
-        cfg.seed = ops.len() as u64;
+/// Every protocol must preserve every store and never deadlock, on
+/// randomly generated conflicting traces; the built-in checker asserts
+/// monotone observations, no lost updates, quiescent memory logs.
+#[test]
+fn protocols_preserve_all_stores() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::from_seed_and_stream(case, 0x5702);
+        let protocol = ProtocolKind::ALL[rng.index(3)];
+        let topology = [TopologyKind::Butterfly16, TopologyKind::Torus4x4][rng.index(2)];
+        let ops = 1 + rng.index(119);
+        let perturb = rng.gen_range(0..8);
+        let traces = random_traces(&mut rng, ops, 8);
         // run() asserts: no deadlock, monotone observations, no lost
         // updates, quiescent memory logs.
-        let _ = System::run_traces(cfg, random_traces(&ops, 8));
+        let _ = System::builder()
+            .protocol(protocol)
+            .topology(topology)
+            .cache(tss_proto::CacheConfig::tiny(256, 4))
+            .verify(true)
+            .perturbation_ns(perturb)
+            .seed(ops as u64)
+            .traces(traces)
+            .build()
+            .unwrap_or_else(|e| panic!("case {case}: config invalid: {e}"))
+            .run();
     }
 }

@@ -4,7 +4,8 @@
 //! characteristics (misses, footprint) are protocol-independent to within
 //! timing noise.
 
-use tss::{ProtocolKind, System, SystemConfig, TopologyKind};
+use tss::{ProtocolKind, System, TopologyKind};
+use tss_proto::CacheConfig;
 use tss_workloads::{micro, ClassWeights, WorkloadSpec};
 
 fn small_spec(seedish: u64) -> WorkloadSpec {
@@ -38,11 +39,18 @@ fn verified_random_workload_on_all_protocols_and_topologies() {
         for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
             let mut runs = Vec::new();
             for protocol in ProtocolKind::ALL {
-                let mut cfg = SystemConfig::test_default(protocol, topology);
-                cfg.seed = seed;
-                cfg.perturbation_ns = 3;
                 // run() panics on any checker violation or deadlock.
-                let r = System::run_workload(cfg, &spec);
+                let r = System::builder()
+                    .protocol(protocol)
+                    .topology(topology)
+                    .cache(CacheConfig::tiny(256, 4))
+                    .verify(true)
+                    .seed(seed)
+                    .perturbation_ns(3)
+                    .workload(spec.clone())
+                    .build()
+                    .expect("agreement configs are valid")
+                    .run();
                 runs.push((protocol, r.stats));
             }
             // Same reference stream => identical hit+miss totals.
@@ -72,10 +80,17 @@ fn verified_random_workload_on_all_protocols_and_topologies() {
 #[test]
 fn lock_storm_is_coherent_everywhere() {
     for protocol in ProtocolKind::ALL {
-        let mut cfg = SystemConfig::test_default(protocol, TopologyKind::Torus4x4);
-        cfg.perturbation_ns = 5;
-        cfg.seed = 42;
-        let r = System::run_traces(cfg, micro::lock_storm(16, 12, 3, 25));
+        let r = System::builder()
+            .protocol(protocol)
+            .topology(TopologyKind::Torus4x4)
+            .cache(CacheConfig::tiny(256, 4))
+            .verify(true)
+            .perturbation_ns(5)
+            .seed(42)
+            .traces(micro::lock_storm(16, 12, 3, 25))
+            .build()
+            .expect("lock storm config is valid")
+            .run();
         // 16 CPUs x 12 acquisitions each: RMW + release = 2 stores on the
         // lock, all of which must survive (the checker verifies; the nack
         // count differentiates the protocols).
@@ -91,9 +106,6 @@ fn writeback_pressure_with_tiny_caches() {
     // One-way 8-set caches force constant dirty evictions: the writeback
     // races (PutM vs GETS/GETM crossings) get hammered on every protocol.
     for protocol in ProtocolKind::ALL {
-        let mut cfg = SystemConfig::test_default(protocol, TopologyKind::Butterfly16);
-        cfg.cache = tss_proto::CacheConfig::tiny(8, 1);
-        cfg.seed = 7;
         let spec = WorkloadSpec {
             name: "wb-pressure".into(),
             ops_per_cpu: 600,
@@ -115,7 +127,17 @@ fn writeback_pressure_with_tiny_caches() {
             private_hot_fraction: 0.3,
             critical_section_len: 2,
         };
-        let r = System::run_workload(cfg, &spec);
+        // One-way 8-set caches force constant dirty evictions.
+        let r = System::builder()
+            .protocol(protocol)
+            .topology(TopologyKind::Butterfly16)
+            .cache(CacheConfig::tiny(8, 1))
+            .verify(true)
+            .seed(7)
+            .workload(spec)
+            .build()
+            .expect("writeback-pressure config is valid")
+            .run();
         assert!(
             r.stats.protocol.writebacks > 500,
             "{protocol}: expected heavy writeback traffic, got {}",
