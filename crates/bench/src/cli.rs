@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 
 use tss::experiment::{ExperimentGrid, GridReport};
-use tss::{ProtocolKind, TopologyKind};
+use tss::{NetworkModelSpec, ProtocolKind, TopologyKind};
 use tss_workloads::{paper, WorkloadSpec};
 
 use crate::{DEFAULT_PERTURBATION_NS, DEFAULT_SCALE, DEFAULT_SEEDS};
@@ -30,6 +30,9 @@ pub struct Cli {
     pub topologies: Vec<TopologyKind>,
     /// Workload name filter (`None` = every paper workload).
     pub workloads: Option<Vec<String>>,
+    /// Address-network model (default: the closed-form fast model; see
+    /// `--net` / `--contention`).
+    pub net: NetworkModelSpec,
     /// Where to write the run's [`GridReport`] JSON, if anywhere.
     pub json: Option<PathBuf>,
 }
@@ -44,6 +47,7 @@ impl Default for Cli {
             protocols: ProtocolKind::ALL.to_vec(),
             topologies: TopologyKind::PAPER.to_vec(),
             workloads: None,
+            net: NetworkModelSpec::Fast,
             json: None,
         }
     }
@@ -59,6 +63,11 @@ options:
   --protocols <list>  comma-separated: ts-snoop,dir-classic,dir-opt
   --topologies <list> comma-separated: butterfly,torus,torus:WxH,butterfly:RxSxP
   --workloads <list>  comma-separated: oltp,dss,apache,altavista,barnes
+  --net <model>       address network: fast (default) or
+                      detailed[:occ=<ns>,slack=<ticks>,depth=<entries>]
+  --contention <ns>   link occupancy in ns; implies --net detailed
+                      (0 = unloaded detailed run; TS-Snoop cells only,
+                      expect runs several times slower than --net fast)
   --json <path>       write the run's GridReport JSON artifact
   --help              print this message";
 
@@ -83,6 +92,8 @@ impl Cli {
     /// Parses an explicit argument list (testable core of [`Cli::parse`]).
     pub fn parse_from(args: &[String]) -> Result<Cli, String> {
         let mut cli = Cli::default();
+        let mut explicit_net: Option<NetworkModelSpec> = None;
+        let mut contention_ns: Option<u64> = None;
         let mut i = 0;
         while i < args.len() {
             let flag = args[i].as_str();
@@ -135,6 +146,16 @@ impl Cli {
                     cli.workloads =
                         Some(value.split(',').map(|w| w.to_ascii_lowercase()).collect());
                 }
+                "--net" => {
+                    explicit_net = Some(value.parse().map_err(|e| format!("{e}"))?);
+                }
+                "--contention" => {
+                    contention_ns = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad --contention {value:?}"))?,
+                    );
+                }
                 "--json" => cli.json = Some(PathBuf::from(value)),
                 other => {
                     return Err(format!("unknown option {other}"));
@@ -142,6 +163,31 @@ impl Cli {
             }
             i += 2;
         }
+        cli.net = match (explicit_net, contention_ns) {
+            (None, None) => NetworkModelSpec::Fast,
+            (Some(net), None) => net,
+            // --contention alone opts into the detailed model.
+            (None, Some(ns)) => NetworkModelSpec::detailed(ns),
+            (Some(NetworkModelSpec::Fast), Some(_)) => {
+                return Err(
+                    "--contention needs the detailed model; drop --net fast or use \
+                     --net detailed"
+                        .into(),
+                );
+            }
+            (
+                Some(NetworkModelSpec::Detailed {
+                    initial_slack,
+                    buffer_depth,
+                    ..
+                }),
+                Some(ns),
+            ) => NetworkModelSpec::Detailed {
+                link_occupancy: tss_sim::Duration::from_ns(ns),
+                initial_slack,
+                buffer_depth,
+            },
+        };
         // Surface bad workload names at parse time, not after a sweep.
         cli.paper_workloads()?;
         Ok(cli)
@@ -180,6 +226,7 @@ impl Cli {
         ExperimentGrid::new(name)
             .protocols(self.protocols.iter().copied())
             .topologies(self.topologies.iter().copied())
+            .nets([self.net])
             .workloads(
                 self.paper_workloads()
                     .expect("names validated at parse time"),
@@ -266,6 +313,42 @@ mod tests {
         assert_eq!(specs[1].name, "Barnes");
         assert_eq!(cli.json.as_deref(), Some(std::path::Path::new("out.json")));
         assert_eq!(cli.seed, 9);
+    }
+
+    #[test]
+    fn net_and_contention_flags_parse() {
+        let cli = Cli::parse_from(&[]).unwrap();
+        assert_eq!(cli.net, NetworkModelSpec::Fast);
+
+        // --contention alone opts into the detailed model.
+        let cli = Cli::parse_from(&args(&["--contention", "5"])).unwrap();
+        assert_eq!(cli.net, NetworkModelSpec::detailed(5));
+
+        // --net detailed with an explicit occupancy override.
+        let cli = Cli::parse_from(&args(&[
+            "--net",
+            "detailed:slack=4,depth=32",
+            "--contention",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.net,
+            NetworkModelSpec::Detailed {
+                link_occupancy: tss_sim::Duration::from_ns(7),
+                initial_slack: 4,
+                buffer_depth: 32,
+            }
+        );
+
+        // The acceptance-path spelling.
+        let cli = Cli::parse_from(&args(&["--net", "detailed", "--contention", "5"])).unwrap();
+        assert_eq!(cli.net, NetworkModelSpec::detailed(5));
+
+        // Contradictions and junk are rejected.
+        assert!(Cli::parse_from(&args(&["--net", "fast", "--contention", "5"])).is_err());
+        assert!(Cli::parse_from(&args(&["--net", "slow"])).is_err());
+        assert!(Cli::parse_from(&args(&["--contention", "x"])).is_err());
     }
 
     #[test]

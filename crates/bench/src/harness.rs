@@ -1,10 +1,32 @@
 //! A dependency-free micro-benchmark harness for the `benches/` targets.
 //!
-//! The offline build environment has no `criterion`, so the bench targets
-//! use this ~80-line stand-in: warm-up, fixed-iteration timing loops,
-//! median-of-samples reporting, and an optional `--bench <filter>`
-//! argument (cargo passes `--bench` through; a positional substring
-//! filters which benchmarks run).
+//! The offline build environment has no `criterion`, so the four
+//! `harness = false` bench targets (`protocols`, `network`, `latency`,
+//! `figure3`) use this stand-in instead. It keeps criterion's shape where
+//! it matters for comparability of numbers over time:
+//!
+//! * one untimed **warm-up** pass before measuring;
+//! * **fixed-iteration** timing loops (`iters` calls per sample) so the
+//!   per-iteration cost is an average over enough work to dominate timer
+//!   resolution;
+//! * **median-of-samples** reporting (default 10 samples) with the
+//!   min..max spread printed alongside, so a noisy host shows up as a
+//!   wide bracket rather than a silently shifted median;
+//! * `std::hint::black_box` around the closure result, so the optimizer
+//!   cannot delete the measured work.
+//!
+//! Invocation matches cargo's bench protocol: `cargo bench -p tss-bench`
+//! runs everything; a positional substring argument (e.g.
+//! `cargo bench -p tss-bench -- fast_inject`) filters benchmarks by name,
+//! and `--`-prefixed flags cargo passes through are ignored.
+//!
+//! ```
+//! let runner = tss_bench::harness::Runner::from_args().samples(3);
+//! let mut x = 0u64;
+//! runner.bench("doc_probe", 100, || {
+//!     x = x.wrapping_add(1);
+//! });
+//! ```
 
 use std::time::Instant;
 

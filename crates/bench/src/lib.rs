@@ -15,12 +15,15 @@
 //! | `scaling` | 4/16/64-node system-size sweep (§5 sensitivity) |
 //! | `latency` | per-protocol single-miss latencies vs the Table 2 closed forms |
 //! | `grid` | fully declarative runner: every axis from the command line |
+//! | `contention` | detailed-token-network sweep: link occupancy × initial slack vs the fast model |
 //!
 //! All binaries share one CLI ([`Cli`]): `--scale`, `--seeds`,
 //! `--perturbation`, `--seed`, plus the grid filters `--protocols`,
-//! `--topologies`, `--workloads`, and `--json <path>` to write the run's
-//! [`GridReport`] artifact. They construct systems exclusively through
-//! [`tss::SystemBuilder`] / [`tss::experiment::ExperimentGrid`].
+//! `--topologies`, `--workloads`, the address-network model selector
+//! `--net fast|detailed` / `--contention <ns>`, and `--json <path>` to
+//! write the run's [`GridReport`](tss::experiment::GridReport) artifact.
+//! They construct systems exclusively through [`tss::SystemBuilder`] /
+//! [`tss::experiment::ExperimentGrid`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

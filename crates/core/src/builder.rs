@@ -26,7 +26,9 @@
 use tss_proto::CacheConfig;
 use tss_workloads::{TraceItem, WorkloadSpec};
 
-use crate::config::{ConfigError, ProtocolKind, SystemConfig, Timing, TopologyKind};
+use crate::config::{
+    ConfigError, NetworkModelSpec, ProtocolKind, SystemConfig, Timing, TopologyKind,
+};
 use crate::system::System;
 
 /// What drives the CPUs of a built system.
@@ -52,6 +54,7 @@ pub struct SystemBuilder {
     topology: TopologyKind,
     cache: CacheConfig,
     timing: Timing,
+    net: NetworkModelSpec,
     instructions_per_ns: u64,
     perturbation_ns: u64,
     seed: u64,
@@ -68,6 +71,7 @@ impl Default for SystemBuilder {
             topology: base.topology,
             cache: base.cache,
             timing: base.timing,
+            net: base.net,
             instructions_per_ns: base.instructions_per_ns,
             perturbation_ns: base.perturbation_ns,
             seed: base.seed,
@@ -99,6 +103,29 @@ impl SystemBuilder {
     /// Overrides the Table 2 timing knobs.
     pub fn timing(mut self, timing: Timing) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Selects the address-network model (default: the closed-form
+    /// [`NetworkModelSpec::Fast`] model — the paper's own unloaded
+    /// assumption). Only TS-Snoop builds an address network, so this is a
+    /// no-op for the directory protocols.
+    ///
+    /// ```
+    /// use tss::{NetworkModelSpec, System, TopologyKind};
+    /// use tss_workloads::micro;
+    ///
+    /// let detailed = System::builder()
+    ///     .topology(TopologyKind::Torus4x4)
+    ///     .network(NetworkModelSpec::detailed(5)) // 5 ns link occupancy
+    ///     .traces(micro::ping_pong(10, 200))
+    ///     .build()
+    ///     .expect("valid config")
+    ///     .run();
+    /// assert!(detailed.stats.runtime.as_ns() > 0);
+    /// ```
+    pub fn network(mut self, net: NetworkModelSpec) -> Self {
+        self.net = net;
         self
     }
 
@@ -165,6 +192,7 @@ impl SystemBuilder {
             topology: self.topology,
             cache: self.cache,
             timing: self.timing,
+            net: self.net,
             instructions_per_ns: self.instructions_per_ns,
             perturbation_ns: self.perturbation_ns,
             perturbation_stream: 0,

@@ -1,5 +1,21 @@
-//! System configuration: protocol × topology × timing (§4.2, Table 2),
-//! plus the typed validation errors the [`crate::SystemBuilder`] reports.
+//! System configuration: what a run *is*, separated from how it executes.
+//!
+//! The knobs mirror the paper's §4.2 setup: a coherence protocol
+//! ([`ProtocolKind`], §4.2 "Protocols"), an interconnect
+//! ([`TopologyKind`], §4.2 "Networks" / Figure 2), the Table 2 timing
+//! constants ([`Timing`]), an address-network model
+//! ([`NetworkModelSpec`] — the fast unloaded closed form the paper
+//! evaluates with, or the detailed token network with an optional
+//! contention axis), and the §4.3 methodology fields (perturbation bound,
+//! stream and seed). [`SystemConfig`] is the validated product of a
+//! [`crate::SystemBuilder`]; every consistency rule lives in
+//! [`SystemConfig::validate`] and reports a typed [`ConfigError`] instead
+//! of panicking mid-run.
+//!
+//! Everything here is serde-serializable with a flat, human-editable JSON
+//! shape: enums that carry data ([`TopologyKind`], [`NetworkModelSpec`])
+//! serialize as their canonical `Display` strings, which `FromStr` parses
+//! back — the same spellings the bench CLI accepts.
 
 use std::fmt;
 use std::str::FromStr;
@@ -243,6 +259,163 @@ impl serde::Deserialize for TopologyKind {
     }
 }
 
+/// Which model simulates the timestamp-ordered address network (§2.2).
+///
+/// The address network is the snooping broadcast fabric that assigns
+/// ordering times; directory protocols never build one, so this spec only
+/// affects TS-Snoop runs. Both models are implemented behind the
+/// [`crate::address_net::AddressNet`] trait:
+///
+/// * [`Fast`](NetworkModelSpec::Fast) — the closed-form unloaded model
+///   ([`tss_net::FastOrderedNet`]): the paper's own evaluation assumption
+///   (§4.3 models "unloaded network latencies \[and\] timestamp snooping
+///   ordering delays" but no contention). Every broadcast's ordering
+///   instant is computed analytically; simulation cost is O(1) per
+///   broadcast.
+/// * [`Detailed`](NetworkModelSpec::Detailed) — the literal token-passing
+///   network ([`tss_net::MultiPlaneNet`] over [`tss_net::DetailedNet`]):
+///   every token and transaction hop is simulated, one plane per fabric
+///   plane with round-robin injection, and positive `link_occupancy`
+///   creates the queueing/GT-stall feedback the paper's evaluation leaves
+///   out. Much slower, measured by the `contention` bench binary.
+///
+/// The canonical string form (used by serde, `Display`, `FromStr`, and
+/// the CLI `--net` flag) is `fast` or
+/// `detailed:occ=<ns>,slack=<ticks>,depth=<entries>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NetworkModelSpec {
+    /// Closed-form unloaded ordering (the paper's evaluation model).
+    #[default]
+    Fast,
+    /// Switch-by-switch token-passing simulation with optional contention.
+    Detailed {
+        /// Minimum spacing between two transactions entering one link;
+        /// `0` reproduces the paper's unloaded assumption, positive values
+        /// create contention (the `--contention` axis).
+        link_occupancy: Duration,
+        /// Initial slack `S` assigned at injection (§2.2: "setting S to a
+        /// small positive value allows GTs to advance during moderate
+        /// network contention"). Must be ≥ 1 whenever `link_occupancy`
+        /// is positive.
+        initial_slack: u64,
+        /// Provisioned per-fabric switch buffering: the run panics if any
+        /// switch ever holds more transaction copies than this (§2.2
+        /// "Buffering" — the paper argues modest buffers suffice; this
+        /// knob turns that argument into a checked invariant).
+        buffer_depth: u32,
+    },
+}
+
+impl NetworkModelSpec {
+    /// Default slack for detailed runs (matches
+    /// [`tss_net::DetailedNetConfig::default`]).
+    pub const DEFAULT_SLACK: u64 = 2;
+    /// Default provisioned switch buffering for detailed runs — generous
+    /// enough that unloaded and moderately contended runs never trip it.
+    pub const DEFAULT_BUFFER_DEPTH: u32 = 64;
+
+    /// A detailed spec with the given link occupancy and default slack
+    /// and buffering — what the CLI's `--contention <ns>` produces.
+    pub fn detailed(occupancy_ns: u64) -> NetworkModelSpec {
+        NetworkModelSpec::Detailed {
+            link_occupancy: Duration::from_ns(occupancy_ns),
+            initial_slack: Self::DEFAULT_SLACK,
+            buffer_depth: Self::DEFAULT_BUFFER_DEPTH,
+        }
+    }
+
+    /// Whether this is the detailed (token-simulating) model.
+    pub fn is_detailed(&self) -> bool {
+        matches!(self, NetworkModelSpec::Detailed { .. })
+    }
+
+    /// Short label for tables ("fast" / "detailed").
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkModelSpec::Fast => "fast",
+            NetworkModelSpec::Detailed { .. } => "detailed",
+        }
+    }
+}
+
+impl fmt::Display for NetworkModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkModelSpec::Fast => f.write_str("fast"),
+            NetworkModelSpec::Detailed {
+                link_occupancy,
+                initial_slack,
+                buffer_depth,
+            } => write!(
+                f,
+                "detailed:occ={},slack={initial_slack},depth={buffer_depth}",
+                link_occupancy.as_ns()
+            ),
+        }
+    }
+}
+
+impl FromStr for NetworkModelSpec {
+    type Err = ConfigError;
+
+    /// Parses the CLI spellings: `fast`, `detailed` (defaults), and
+    /// `detailed:occ=<ns>,slack=<ticks>,depth=<entries>` with any subset
+    /// of the three keys.
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        let unknown = || ConfigError::UnknownName {
+            what: "network model",
+            given: s.to_string(),
+            expected: "fast, detailed, detailed:occ=<ns>,slack=<ticks>,depth=<entries>",
+        };
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "fast" => return Ok(NetworkModelSpec::Fast),
+            "detailed" => return Ok(NetworkModelSpec::detailed(0)),
+            _ => {}
+        }
+        let Some(fields) = lower.strip_prefix("detailed:") else {
+            return Err(unknown());
+        };
+        let (mut occ, mut slack, mut depth) = (
+            0u64,
+            NetworkModelSpec::DEFAULT_SLACK,
+            NetworkModelSpec::DEFAULT_BUFFER_DEPTH,
+        );
+        for field in fields.split(',') {
+            let (key, value) = field.split_once('=').ok_or_else(unknown)?;
+            match key {
+                "occ" => occ = value.parse().map_err(|_| unknown())?,
+                "slack" => slack = value.parse().map_err(|_| unknown())?,
+                "depth" => depth = value.parse().map_err(|_| unknown())?,
+                _ => return Err(unknown()),
+            }
+        }
+        Ok(NetworkModelSpec::Detailed {
+            link_occupancy: Duration::from_ns(occ),
+            initial_slack: slack,
+            buffer_depth: depth,
+        })
+    }
+}
+
+// Like TopologyKind, the enum carries data, so the unit-variant-only
+// derive does not apply; serialize as the canonical display string, which
+// `FromStr` parses back — keeping the JSON schema flat and human-editable.
+impl serde::Serialize for NetworkModelSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for NetworkModelSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => s.parse().map_err(|e: ConfigError| serde::Error::msg(e)),
+            _ => Err(serde::Error::msg("expected a network model string")),
+        }
+    }
+}
+
 /// Why a configuration was rejected at build time.
 ///
 /// Returned by [`crate::SystemBuilder::build`] and
@@ -297,6 +470,13 @@ pub enum ConfigError {
     },
     /// The §4.3 methodology needs at least one perturbation run.
     ZeroPerturbationRuns,
+    /// A [`NetworkModelSpec`] the detailed token network cannot honour
+    /// (zero link latency, contention without slack headroom, zero
+    /// buffer provisioning).
+    BadNetworkModel {
+        /// What is wrong with it.
+        reason: &'static str,
+    },
     /// An unrecognised protocol/topology/workload name (CLI parsing).
     UnknownName {
         /// What kind of name was being parsed.
@@ -335,6 +515,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroPerturbationRuns => {
                 f.write_str("the §4.3 methodology needs at least one perturbation run")
+            }
+            ConfigError::BadNetworkModel { reason } => {
+                write!(f, "bad network model: {reason}")
             }
             ConfigError::UnknownName {
                 what,
@@ -400,6 +583,9 @@ pub struct SystemConfig {
     pub cache: CacheConfig,
     /// Network and controller timing (Table 2).
     pub timing: Timing,
+    /// Which model simulates the timestamp-ordered address network
+    /// (TS-Snoop only; directory protocols never build one).
+    pub net: NetworkModelSpec,
     /// Processor speed: instructions completed per nanosecond with a
     /// perfect memory system (paper: 4).
     pub instructions_per_ns: u64,
@@ -428,6 +614,7 @@ impl SystemConfig {
             topology,
             cache: CacheConfig::paper_default(),
             timing: Timing::default(),
+            net: NetworkModelSpec::Fast,
             instructions_per_ns: 4,
             perturbation_ns: 0,
             perturbation_stream: 0,
@@ -471,6 +658,38 @@ impl SystemConfig {
             return Err(ConfigError::BadCacheGeometry {
                 reason: "capacity below one block per way",
             });
+        }
+        if let NetworkModelSpec::Detailed {
+            link_occupancy,
+            initial_slack,
+            buffer_depth,
+        } = self.net
+        {
+            // The detailed network charges a uniform `d_switch` per link —
+            // for transactions and the token wave alike — so a zero link
+            // latency would collapse its cadence to nothing.
+            if self.timing.d_switch == Duration::ZERO {
+                return Err(ConfigError::BadNetworkModel {
+                    reason: "zero link latency (timing.d_switch): the token wave \
+                             needs a positive per-link cadence",
+                });
+            }
+            if buffer_depth == 0 {
+                return Err(ConfigError::BadNetworkModel {
+                    reason: "zero buffer depth: switches need at least one \
+                             provisioned transaction buffer entry",
+                });
+            }
+            // §2.2: zero-slack transactions block the token wave behind
+            // every busy link, so contention without slack headroom stalls
+            // guarantee times system-wide.
+            if link_occupancy > Duration::ZERO && initial_slack == 0 {
+                return Err(ConfigError::BadNetworkModel {
+                    reason: "link occupancy without slack headroom: positive \
+                             contention needs initial_slack >= 1 so tokens can \
+                             pass buffered transactions",
+                });
+            }
         }
         Ok(nodes)
     }
@@ -637,6 +856,119 @@ mod tests {
         assert!(matches!(
             bad_cache.validate(),
             Err(ConfigError::BadCacheGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn network_model_parsing_round_trips_display() {
+        for spec in [
+            NetworkModelSpec::Fast,
+            NetworkModelSpec::detailed(0),
+            NetworkModelSpec::detailed(5),
+            NetworkModelSpec::Detailed {
+                link_occupancy: Duration::from_ns(10),
+                initial_slack: 7,
+                buffer_depth: 32,
+            },
+        ] {
+            assert_eq!(spec.to_string().parse::<NetworkModelSpec>(), Ok(spec));
+        }
+        assert_eq!(
+            "fast".parse::<NetworkModelSpec>(),
+            Ok(NetworkModelSpec::Fast)
+        );
+        assert_eq!(
+            "detailed".parse::<NetworkModelSpec>(),
+            Ok(NetworkModelSpec::detailed(0))
+        );
+        // Partial key=value lists keep the other defaults.
+        assert_eq!(
+            "detailed:slack=5".parse::<NetworkModelSpec>(),
+            Ok(NetworkModelSpec::Detailed {
+                link_occupancy: Duration::ZERO,
+                initial_slack: 5,
+                buffer_depth: NetworkModelSpec::DEFAULT_BUFFER_DEPTH,
+            })
+        );
+        for bad in ["slow", "detailed:occ", "detailed:bw=3", "detailed:occ=x"] {
+            assert!(
+                matches!(
+                    bad.parse::<NetworkModelSpec>(),
+                    Err(ConfigError::UnknownName { .. })
+                ),
+                "{bad:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn network_model_serde_round_trips() {
+        for spec in [
+            NetworkModelSpec::Fast,
+            NetworkModelSpec::detailed(5),
+            NetworkModelSpec::Detailed {
+                link_occupancy: Duration::from_ns(2),
+                initial_slack: 1,
+                buffer_depth: 8,
+            },
+        ] {
+            let v = serde::Serialize::to_value(&spec);
+            assert_eq!(v, serde::Value::Str(spec.to_string()));
+            let back: NetworkModelSpec = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(back, spec);
+        }
+        assert!(
+            <NetworkModelSpec as serde::Deserialize>::from_value(&serde::Value::U64(1)).is_err()
+        );
+    }
+
+    #[test]
+    fn detailed_network_validation_catches_bad_knobs() {
+        let base = SystemConfig::paper_default(ProtocolKind::TsSnoop, TopologyKind::Torus4x4);
+
+        let mut unloaded = base.clone();
+        unloaded.net = NetworkModelSpec::detailed(0);
+        assert_eq!(unloaded.validate(), Ok(16));
+
+        // Zero link latency: the token wave has no cadence.
+        let mut zero_link = unloaded.clone();
+        zero_link.timing.d_switch = Duration::ZERO;
+        assert!(matches!(
+            zero_link.validate(),
+            Err(ConfigError::BadNetworkModel { reason }) if reason.contains("link latency")
+        ));
+        // The same timing is fine under the fast model (closed form).
+        zero_link.net = NetworkModelSpec::Fast;
+        assert_eq!(zero_link.validate(), Ok(16));
+
+        // Contention without slack headroom stalls GTs system-wide.
+        let mut no_headroom = base.clone();
+        no_headroom.net = NetworkModelSpec::Detailed {
+            link_occupancy: Duration::from_ns(5),
+            initial_slack: 0,
+            buffer_depth: 64,
+        };
+        assert!(matches!(
+            no_headroom.validate(),
+            Err(ConfigError::BadNetworkModel { reason }) if reason.contains("slack headroom")
+        ));
+        // Unloaded zero slack is legal (transactions arrive just in time).
+        no_headroom.net = NetworkModelSpec::Detailed {
+            link_occupancy: Duration::ZERO,
+            initial_slack: 0,
+            buffer_depth: 64,
+        };
+        assert_eq!(no_headroom.validate(), Ok(16));
+
+        let mut no_buffers = base;
+        no_buffers.net = NetworkModelSpec::Detailed {
+            link_occupancy: Duration::ZERO,
+            initial_slack: 2,
+            buffer_depth: 0,
+        };
+        assert!(matches!(
+            no_buffers.validate(),
+            Err(ConfigError::BadNetworkModel { reason }) if reason.contains("buffer")
         ));
     }
 

@@ -1,31 +1,35 @@
 //! The declarative experiment API: define a grid of
-//! {protocol × topology × workload × seed} axes, run every cell in
-//! parallel under the §4.3 perturbation methodology, and get a stable,
-//! serializable [`GridReport`] back.
+//! {protocol × topology × network model × workload × seed} axes, run
+//! every cell in parallel under the §4.3 perturbation methodology, and
+//! get a stable, serializable [`GridReport`] back.
 //!
 //! The paper's whole evaluation is a grid — Figures 3/4 are
 //! {TS-Snoop, DirClassic, DirOpt} × {butterfly, torus} × five workloads —
 //! and Tardis-style timestamp protocols live or die by systematic sweeps,
 //! so this module makes the grid the first-class object: every bench
 //! binary, example, and integration test plugs a [`ExperimentGrid`] (or a
-//! hand-assembled [`GridReport`]) into the same JSON schema.
+//! hand-assembled [`GridReport`]) into the same JSON schema. The
+//! [`ExperimentGrid::nets`] axis extends the evaluation past the paper's
+//! unloaded assumption: put [`NetworkModelSpec::Fast`] first as the
+//! baseline and detailed/contended variants after it.
 //!
 //! ```
 //! use tss::experiment::ExperimentGrid;
-//! use tss::{ProtocolKind, TopologyKind};
+//! use tss::{NetworkModelSpec, ProtocolKind, TopologyKind};
 //! use tss_workloads::paper;
 //!
 //! let report = ExperimentGrid::new("doc-demo")
-//!     .protocols([ProtocolKind::TsSnoop, ProtocolKind::DirOpt])
+//!     .protocols([ProtocolKind::TsSnoop])
 //!     .topologies([TopologyKind::Torus4x4])
+//!     .nets([NetworkModelSpec::Fast, NetworkModelSpec::detailed(5)])
 //!     .workloads(vec![paper::barnes(0.001)])
 //!     .seeds([1])
 //!     .run()
 //!     .expect("valid grid");
-//! assert_eq!(report.cells.len(), 2);
+//! assert_eq!(report.cells.len(), 2); // one fast cell, one contended cell
 //! let json = report.to_json();
 //! let back = tss::experiment::GridReport::from_json(&json).unwrap();
-//! assert_eq!(back.cells.len(), 2);
+//! assert_eq!(back.nets.len(), 2);
 //! ```
 
 use std::path::Path;
@@ -35,13 +39,23 @@ use std::sync::Mutex;
 use tss_proto::CacheConfig;
 use tss_workloads::WorkloadSpec;
 
-use crate::config::{ConfigError, ProtocolKind, SystemConfig, Timing, TopologyKind};
+use crate::config::{
+    ConfigError, NetworkModelSpec, ProtocolKind, SystemConfig, Timing, TopologyKind,
+};
 use crate::methodology::min_over_perturbations;
 use crate::system::SystemStats;
 
 /// Version stamp of the [`GridReport`] JSON schema. Bump when a field is
-/// renamed, removed, or changes meaning; additions are backward-safe.
-pub const SCHEMA_VERSION: u32 = 1;
+/// renamed, removed, or changes meaning; additions are backward-safe for
+/// readers but still get a bump so [`GridReport::from_json`] can fill the
+/// older documents in (the migration path ROADMAP asks for).
+///
+/// History:
+/// * **1** — initial schema (PR 2).
+/// * **2** — adds the network-model axis: `nets` on the report, `net` on
+///   every cell. v1 documents predate the axis and migrate by filling in
+///   `"fast"`, which is what every v1 run actually used.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One measured cell of an experiment grid: the configuration echo plus
 /// everything the run recorded.
@@ -54,6 +68,8 @@ pub struct RunReport {
     pub protocol: ProtocolKind,
     /// The fabric it ran on.
     pub topology: TopologyKind,
+    /// The address-network model it ran under.
+    pub net: NetworkModelSpec,
     /// Workload seed.
     pub seed: u64,
     /// §4.3 response-jitter bound (ns) applied to each run.
@@ -77,6 +93,7 @@ impl RunReport {
             workload: workload.into(),
             protocol: cfg.protocol,
             topology: cfg.topology,
+            net: cfg.net,
             seed: cfg.seed,
             perturbation_ns: cfg.perturbation_ns,
             perturbation_runs,
@@ -113,6 +130,9 @@ pub struct GridReport {
     pub protocols: Vec<ProtocolKind>,
     /// Topology axis, in run order.
     pub topologies: Vec<TopologyKind>,
+    /// Network-model axis, in run order (schema ≥ 2; v1 documents
+    /// migrate to `[fast]`).
+    pub nets: Vec<NetworkModelSpec>,
     /// Workload axis (names), in run order.
     pub workloads: Vec<String>,
     /// Seed axis, in run order.
@@ -131,6 +151,7 @@ impl GridReport {
     pub fn from_cells(name: impl Into<String>, cells: Vec<RunReport>) -> GridReport {
         let mut protocols = Vec::new();
         let mut topologies = Vec::new();
+        let mut nets = Vec::new();
         let mut workloads = Vec::new();
         let mut seeds = Vec::new();
         for c in &cells {
@@ -139,6 +160,9 @@ impl GridReport {
             }
             if !topologies.contains(&c.topology) {
                 topologies.push(c.topology);
+            }
+            if !nets.contains(&c.net) {
+                nets.push(c.net);
             }
             if !workloads.contains(&c.workload) {
                 workloads.push(c.workload.clone());
@@ -154,6 +178,7 @@ impl GridReport {
             name: name.into(),
             protocols,
             topologies,
+            nets,
             workloads,
             seeds,
             perturbation_ns,
@@ -163,7 +188,9 @@ impl GridReport {
     }
 
     /// Finds the cell for one (workload, topology, protocol) at the first
-    /// seed, if it was run.
+    /// net and seed run, if any. With a multi-model grid this is the
+    /// first entry of the `nets` axis — conventionally the fast baseline;
+    /// use [`GridReport::cell_for_net`] to pick a specific model.
     pub fn cell(
         &self,
         workload: &str,
@@ -175,15 +202,38 @@ impl GridReport {
             .find(|c| c.workload == workload && c.topology == topology && c.protocol == protocol)
     }
 
+    /// Finds the cell for one (workload, topology, protocol, net) at the
+    /// first seed, if it was run.
+    pub fn cell_for_net(
+        &self,
+        workload: &str,
+        topology: TopologyKind,
+        protocol: ProtocolKind,
+        net: NetworkModelSpec,
+    ) -> Option<&RunReport> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.topology == topology
+                && c.protocol == protocol
+                && c.net == net
+        })
+    }
+
     /// Renders the report as pretty JSON. Deterministic: the same grid run
     /// with the same seeds produces byte-identical output.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialization is infallible")
     }
 
-    /// Parses a report back from JSON.
+    /// Parses a report back from JSON, migrating older schema versions
+    /// forward: a v1 document (which predates the network-model axis)
+    /// loads with `nets = [fast]` and `net = fast` on every cell — what
+    /// every v1 run actually used. Unknown future schemas are an error,
+    /// not a guess.
     pub fn from_json(text: &str) -> Result<GridReport, serde_json::Error> {
-        serde_json::from_str(text)
+        let mut value: serde_json::Value = serde_json::from_str(text)?;
+        migrate_report_value(&mut value)?;
+        serde_json::from_value(&value)
     }
 
     /// Writes pretty JSON (plus a trailing newline) to `path`, creating
@@ -199,6 +249,60 @@ impl GridReport {
     }
 }
 
+/// Upgrades an older [`GridReport`] JSON document in place to
+/// [`SCHEMA_VERSION`]. Each released schema gets one arm here, so a saved
+/// artifact from any prior PR keeps loading (ROADMAP: "add a migration
+/// path in `GridReport::from_json` rather than bumping blindly").
+fn migrate_report_value(v: &mut serde_json::Value) -> Result<(), serde_json::Error> {
+    let fast = || serde_json::Value::Str("fast".into());
+    let schema = match v.get("schema") {
+        Some(serde_json::Value::U64(s)) => *s,
+        _ => {
+            return Err(serde_json::Error::msg(
+                "GridReport JSON has no schema stamp",
+            ))
+        }
+    };
+    match schema {
+        // v1 → v2: the network-model axis did not exist; every run used
+        // the fast model. Insert the axis next to `topologies` and stamp
+        // each cell, keeping field positions deterministic.
+        1 => {
+            let serde_json::Value::Object(fields) = v else {
+                return Err(serde_json::Error::msg("expected a GridReport object"));
+            };
+            let at = fields
+                .iter()
+                .position(|(k, _)| k == "topologies")
+                .map_or(fields.len(), |i| i + 1);
+            fields.insert(at, ("nets".into(), serde_json::Value::Array(vec![fast()])));
+            for (key, value) in fields.iter_mut() {
+                match (key.as_str(), value) {
+                    ("schema", value) => *value = serde_json::Value::U64(2),
+                    ("cells", serde_json::Value::Array(cells)) => {
+                        for cell in cells {
+                            let serde_json::Value::Object(cell_fields) = cell else {
+                                continue;
+                            };
+                            let at = cell_fields
+                                .iter()
+                                .position(|(k, _)| k == "topology")
+                                .map_or(cell_fields.len(), |i| i + 1);
+                            cell_fields.insert(at, ("net".into(), fast()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        2 => Ok(()),
+        newer => Err(serde_json::Error::msg(format!(
+            "unsupported GridReport schema {newer} (this build reads 1..={SCHEMA_VERSION})"
+        ))),
+    }
+}
+
 /// A declarative grid of experiment axes — see the module docs.
 ///
 /// Cells run in parallel (scoped threads, one queue, deterministic result
@@ -209,6 +313,7 @@ pub struct ExperimentGrid {
     name: String,
     protocols: Vec<ProtocolKind>,
     topologies: Vec<TopologyKind>,
+    nets: Vec<NetworkModelSpec>,
     workloads: Vec<WorkloadSpec>,
     seeds: Vec<u64>,
     perturbation_ns: u64,
@@ -228,6 +333,7 @@ impl ExperimentGrid {
             name: name.into(),
             protocols: ProtocolKind::ALL.to_vec(),
             topologies: TopologyKind::PAPER.to_vec(),
+            nets: vec![NetworkModelSpec::Fast],
             workloads: Vec::new(),
             seeds: vec![0],
             perturbation_ns: 0,
@@ -248,6 +354,14 @@ impl ExperimentGrid {
     /// Replaces the topology axis.
     pub fn topologies(mut self, topologies: impl IntoIterator<Item = TopologyKind>) -> Self {
         self.topologies = topologies.into_iter().collect();
+        self
+    }
+
+    /// Replaces the network-model axis (default: the closed-form fast
+    /// model only, the paper's unloaded assumption). Put the baseline
+    /// first: [`GridReport::cell`] resolves to the first entry.
+    pub fn nets(mut self, nets: impl IntoIterator<Item = NetworkModelSpec>) -> Self {
+        self.nets = nets.into_iter().collect();
         self
     }
 
@@ -297,7 +411,11 @@ impl ExperimentGrid {
 
     /// Number of cells this grid will run.
     pub fn cell_count(&self) -> usize {
-        self.workloads.len() * self.topologies.len() * self.protocols.len() * self.seeds.len()
+        self.workloads.len()
+            * self.topologies.len()
+            * self.nets.len()
+            * self.protocols.len()
+            * self.seeds.len()
     }
 
     /// Validates the axes, runs every cell (in parallel), and reports.
@@ -309,6 +427,7 @@ impl ExperimentGrid {
         for (axis, empty) in [
             ("protocols", self.protocols.is_empty()),
             ("topologies", self.topologies.is_empty()),
+            ("nets", self.nets.is_empty()),
             ("workloads", self.workloads.is_empty()),
             ("seeds", self.seeds.is_empty()),
         ] {
@@ -320,26 +439,30 @@ impl ExperimentGrid {
             return Err(ConfigError::ZeroPerturbationRuns);
         }
 
-        // Deterministic cell order: workload-major, then topology,
-        // protocol, seed — the order the paper's figures read in.
+        // Deterministic cell order: workload-major, then topology, net,
+        // protocol, seed — the order the paper's figures read in, with
+        // the network model varying slowest inside a figure block.
         let mut plans: Vec<(usize, SystemConfig, &WorkloadSpec)> = Vec::new();
         for spec in &self.workloads {
             for &topology in &self.topologies {
-                for &protocol in &self.protocols {
-                    for &seed in &self.seeds {
-                        let cfg = SystemConfig {
-                            protocol,
-                            topology,
-                            cache: self.cache,
-                            timing: self.timing,
-                            instructions_per_ns: 4,
-                            perturbation_ns: self.perturbation_ns,
-                            perturbation_stream: 0,
-                            seed,
-                            verify: self.verify,
-                            record_observations: false,
-                        };
-                        plans.push((plans.len(), cfg, spec));
+                for &net in &self.nets {
+                    for &protocol in &self.protocols {
+                        for &seed in &self.seeds {
+                            let cfg = SystemConfig {
+                                protocol,
+                                topology,
+                                cache: self.cache,
+                                timing: self.timing,
+                                net,
+                                instructions_per_ns: 4,
+                                perturbation_ns: self.perturbation_ns,
+                                perturbation_stream: 0,
+                                seed,
+                                verify: self.verify,
+                                record_observations: false,
+                            };
+                            plans.push((plans.len(), cfg, spec));
+                        }
                     }
                 }
             }
@@ -388,6 +511,7 @@ impl ExperimentGrid {
             name: self.name,
             protocols: self.protocols,
             topologies: self.topologies,
+            nets: self.nets,
             workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
             seeds: self.seeds,
             perturbation_ns: self.perturbation_ns,

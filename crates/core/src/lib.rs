@@ -18,7 +18,11 @@
 //! ([`System`]), the protocol engines (crate `tss-proto`), the networks
 //! (crate `tss-net`) and the synthetic workloads (crate `tss-workloads`)
 //! into runnable experiments, and provides the paper's closed-form models
-//! ([`analytic`]) and measurement methodology ([`methodology`]).
+//! ([`analytic`]) and measurement methodology ([`methodology`]). The
+//! address network is pluggable ([`address_net`], selected by
+//! [`NetworkModelSpec`]): the paper's fast unloaded closed form by
+//! default, or the detailed token-passing network with a contention axis
+//! the paper's evaluation deliberately left unmeasured.
 //!
 //! # Quick start
 //!
@@ -61,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod address_net;
 pub mod analytic;
 mod builder;
 mod config;
@@ -70,7 +75,7 @@ pub mod methodology;
 mod system;
 
 pub use builder::SystemBuilder;
-pub use config::{ConfigError, ProtocolKind, SystemConfig, Timing, TopologyKind};
+pub use config::{ConfigError, NetworkModelSpec, ProtocolKind, SystemConfig, Timing, TopologyKind};
 pub use cpu::Cpu;
 pub use experiment::{ExperimentGrid, GridReport, RunReport};
 pub use system::{RunResult, System, SystemStats, TrafficSummary};

@@ -2,18 +2,26 @@
 //! one event loop.
 //!
 //! This is the reproduction's counterpart of the paper's "memory hierarchy
-//! simulator" (§4.3): it models unloaded network latencies and timestamp
-//! ordering delays exactly, controller occupancies (`D_mem`/`D_cache`),
-//! and — following the paper — no network contention. The §4.3
-//! perturbation methodology (small random delays on every response) is
-//! built in.
+//! simulator" (§4.3): it models network latencies and timestamp ordering
+//! delays exactly, controller occupancies (`D_mem`/`D_cache`), and the
+//! §4.3 perturbation methodology (small random delays on every response).
+//!
+//! The address network behind TS-Snoop is pluggable via
+//! [`crate::address_net::AddressNet`], selected by
+//! [`SystemConfig::net`]: the default fast closed form reproduces the
+//! paper's own no-contention assumption; the detailed token network
+//! (`NetworkModelSpec::Detailed`) simulates every token hop and, with
+//! positive link occupancy, feeds queueing-induced guarantee-time stalls
+//! back into the ordering instants the protocol observes — the
+//! `--contention` measurement axis. The event loop drives either model
+//! the same way: broadcasts return a poll hint, and a single-event poll
+//! chain (`schedule_addr_poll`) drains ordered transactions as their
+//! instants arrive.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use tss_net::{
-    FastOrderedNet, MsgClass, NodeId, OrderedNetTiming, TrafficLedger, UnicastNet, VnetOrdering,
-};
+use tss_net::{MsgClass, NodeId, TrafficLedger, UnicastNet, VnetOrdering};
 use tss_proto::{
     AddrTxn, Block, CpuOp, DirClassic, DirOpt, DirTiming, Msg, ProtoAction, ProtoEvent, Protocol,
     ProtocolStats, SnoopTiming, TsSnoop, Vnet,
@@ -23,6 +31,7 @@ use tss_sim::stats::LatencyStat;
 use tss_sim::{Duration, EventQueue, Time};
 use tss_workloads::{TraceItem, WorkloadSpec};
 
+use crate::address_net::{build_address_net, AddressNet};
 use crate::config::{ProtocolKind, SystemConfig};
 use crate::cpu::Cpu;
 
@@ -126,7 +135,10 @@ pub struct System {
     cfg: SystemConfig,
     n: usize,
     protocol: Box<dyn Protocol + Send>,
-    addr: Option<FastOrderedNet<AddrTxn>>,
+    addr: Option<Box<dyn AddressNet<AddrTxn>>>,
+    /// Earliest scheduled address-net poll, so the poll chain re-arms one
+    /// event at a time instead of fanning out duplicates.
+    addr_poll_at: Option<Time>,
     data_net: UnicastNet,
     request_net: UnicastNet,
     forward_net: UnicastNet,
@@ -249,19 +261,9 @@ impl System {
             )),
         };
 
-        let addr = protocol.uses_snooping().then(|| {
-            FastOrderedNet::new(
-                Arc::clone(&fabric),
-                OrderedNetTiming {
-                    hops: tss_net::HopTiming::Weighted {
-                        d_ovh: cfg.timing.d_ovh,
-                        d_switch: cfg.timing.d_switch,
-                    },
-                    tick: cfg.timing.tick,
-                    initial_slack: cfg.timing.initial_slack,
-                },
-            )
-        });
+        let addr = protocol
+            .uses_snooping()
+            .then(|| build_address_net(cfg.net, &cfg.timing, Arc::clone(&fabric)));
 
         let unicast = |ordering| {
             UnicastNet::with_timing(
@@ -294,6 +296,7 @@ impl System {
             n,
             protocol,
             addr,
+            addr_poll_at: None,
             data_net: unicast(VnetOrdering::Unordered),
             request_net: unicast(VnetOrdering::Unordered),
             forward_net: unicast(forward_ordering),
@@ -329,6 +332,9 @@ impl System {
                     self.protocol.cpu_op(now, NodeId(cpu), op, &mut actions);
                 }
                 Ev::AddrDrain => {
+                    if self.addr_poll_at == Some(now) {
+                        self.addr_poll_at = None;
+                    }
                     let addr = self.addr.as_mut().expect("drain without snooping");
                     for d in addr.drain(now) {
                         self.protocol.handle(
@@ -340,6 +346,12 @@ impl System {
                             },
                             &mut actions,
                         );
+                    }
+                    // Re-arm the poll chain while copies are pending: the
+                    // detailed model advances one event horizon per poll,
+                    // the fast model jumps straight to the next deadline.
+                    if let Some(at) = self.addr.as_ref().and_then(|a| a.next_ready()) {
+                        self.schedule_addr_poll(at);
                     }
                 }
                 Ev::Deliver { dest, msg } => {
@@ -353,12 +365,15 @@ impl System {
         assert_eq!(
             self.finished,
             self.n,
-            "system deadlocked: {} of {} CPUs finished, blocked: {:?}",
+            "system deadlocked: {} of {} CPUs finished, blocked: {:?}, \
+             addr next_ready {:?}, poll_at {:?}",
             self.finished,
             self.n,
             (0..self.n)
                 .filter(|&c| self.cpus[c].is_blocked())
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>(),
+            self.addr.as_ref().and_then(|a| a.next_ready()),
+            self.addr_poll_at,
         );
 
         if self.cfg.verify {
@@ -393,13 +408,24 @@ impl System {
         }
     }
 
+    /// Schedules an address-net drain at `at` unless an earlier poll is
+    /// already pending (which will re-arm the chain itself). Keeps the
+    /// poll chain at one live event, so detailed-model polling cannot fan
+    /// out duplicate drains.
+    fn schedule_addr_poll(&mut self, at: Time) {
+        if self.addr_poll_at.is_none_or(|pending| at < pending) {
+            self.events.schedule(at, Ev::AddrDrain);
+            self.addr_poll_at = Some(at);
+        }
+    }
+
     fn process_actions(&mut self, now: Time, actions: Vec<ProtoAction>) {
         for a in actions {
             match a {
                 ProtoAction::Broadcast { src, txn } => {
                     let addr = self.addr.as_mut().expect("broadcast without snooping");
                     let ready = addr.inject(now, src, txn);
-                    self.events.schedule(ready, Ev::AddrDrain);
+                    self.schedule_addr_poll(ready);
                 }
                 ProtoAction::Send {
                     src,
@@ -574,6 +600,66 @@ mod tests {
         seen.sort_unstable();
         let expect: Vec<u64> = (0..20).collect();
         assert_eq!(seen, expect, "atomic increments must not be lost");
+    }
+
+    #[test]
+    fn detailed_network_preserves_coherence_on_microbenchmarks() {
+        use crate::config::NetworkModelSpec;
+        // Coherence checker is on (test_default): the detailed path must
+        // uphold every invariant the fast path does, on both fabrics
+        // (single-plane torus, four-plane butterfly) and under contention.
+        for t in [TopologyKind::Torus4x4, TopologyKind::Butterfly16] {
+            for occ in [0, 20] {
+                let mut c = cfg(ProtocolKind::TsSnoop, t);
+                c.net = NetworkModelSpec::detailed(occ);
+                let r = System::run_traces(c, micro::ping_pong(50, 40));
+                assert_eq!(
+                    r.stats.protocol.misses + r.stats.protocol.hits,
+                    100,
+                    "{t} occ={occ}"
+                );
+                assert!(r.stats.runtime > Duration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_network_misses_never_beat_the_fast_model() {
+        use crate::config::NetworkModelSpec;
+        use tss_workloads::paper;
+        // Per-miss service includes the address ordering delay, which the
+        // detailed model's uniform-link metric and conservative batch
+        // rule make strictly later than the fast closed form; occupancy
+        // stalls push it later still. (Whole-run *runtime* comparisons on
+        // racy microbenchmarks are not monotone — later ordering can flip
+        // ownership races toward more hits — so the assertion is on the
+        // measured miss latencies and on a real workload's runtime.)
+        let run = |net: NetworkModelSpec| {
+            let mut c = cfg(ProtocolKind::TsSnoop, TopologyKind::Torus4x4);
+            c.net = net;
+            System::run_workload(c, &paper::barnes(0.001))
+        };
+        let fast = run(NetworkModelSpec::Fast);
+        let unloaded = run(NetworkModelSpec::detailed(0));
+        let contended = run(NetworkModelSpec::detailed(20));
+        for (name, detailed) in [("unloaded", &unloaded), ("contended", &contended)] {
+            assert!(
+                detailed.stats.miss_latency.mean_ns() >= fast.stats.miss_latency.mean_ns(),
+                "{name} detailed mean miss latency {:?} < fast {:?}",
+                detailed.stats.miss_latency.mean_ns(),
+                fast.stats.miss_latency.mean_ns()
+            );
+            assert!(
+                detailed.stats.runtime >= fast.stats.runtime,
+                "{name} detailed runtime {} < fast {}",
+                detailed.stats.runtime,
+                fast.stats.runtime
+            );
+        }
+        assert!(
+            contended.stats.miss_latency.mean_ns() >= unloaded.stats.miss_latency.mean_ns(),
+            "occupancy stalls must not speed up misses"
+        );
     }
 
     #[test]

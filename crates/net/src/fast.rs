@@ -1,7 +1,7 @@
 //! Fast (closed-form) model of the timestamp-ordered address network.
 //!
 //! The paper's performance evaluation models "unloaded network latencies
-//! [and] timestamp snooping ordering delays" but **not** network contention
+//! \[and\] timestamp snooping ordering delays" but **not** network contention
 //! (§4.3). Under no contention, the token wave of §2.2 is perfectly
 //! periodic: every switch and endpoint advances its guarantee time (GT) in
 //! lock step, once per logical *tick*. That makes both halves of the
@@ -18,10 +18,22 @@
 //!
 //! Endpoints still run a real priority queue (the "augmented priority
 //! queue" of §2.2) keyed by `(OT, source, sequence)`, so the established
-//! total order is explicit and testable. The [`detailed`](crate::token)
-//! token-passing network produces the same order and the same ordering
-//! instants when unloaded; an integration property test asserts the
-//! equivalence.
+//! total order is explicit and testable. The detailed token-passing
+//! network ([`DetailedNet`](crate::DetailedNet)) produces the same total
+//! order and the same ordering instants when unloaded, offset by exactly
+//! one conservative tick (its endpoints close tick X only when the token
+//! advancing their GT past X arrives, one link latency after this model's
+//! just-in-time deadline). Both halves of that claim are asserted in
+//! `tests/tests/equivalence.rs`:
+//!
+//! * `butterfly_single_plane_equivalence` / `torus_equivalence` (and
+//!   friends) check raw-network order and the `fast + one tick` instant
+//!   offset per delivery;
+//! * `address_net_unloaded_instants_match_fast_model` drives both models
+//!   through the `tss::address_net::AddressNet` adapters the full-system
+//!   simulator uses and asserts **byte-identical** ordering instants for
+//!   unloaded (`link_occupancy = 0`) detailed runs against this model at
+//!   `uniform(link, S + 1)`.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -324,6 +336,15 @@ impl<P> FastOrderedNet<P> {
     /// Total endpoint-copies still awaiting their ordering time.
     pub fn pending(&self) -> usize {
         self.queues.iter().map(BinaryHeap::len).sum()
+    }
+
+    /// Earliest ordering instant among still-pending deliveries — when the
+    /// next [`FastOrderedNet::drain`] call can make progress.
+    pub fn next_ordered_at(&self) -> Option<Time> {
+        self.queues
+            .iter()
+            .filter_map(|q| q.peek().map(|Reverse(p)| p.ordered_at))
+            .min()
     }
 
     /// The address-network traffic ledger (Request-class bytes).

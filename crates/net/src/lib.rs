@@ -19,6 +19,10 @@
 //! * [`DetailedNet`] / [`SwitchCore`] — the literal token-passing
 //!   implementation of §2.2, including Figure 1, slack bookkeeping and
 //!   optional link-bandwidth contention;
+//! * [`MultiPlaneNet`] — the paper's "four parallel butterflies, selected
+//!   round-robin" composition of [`DetailedNet`]s, merging per-plane
+//!   deliveries at the min-guarantee-time frontier (this is what
+//!   full-system `--net detailed` runs drive);
 //! * [`UnicastNet`] — the point-to-point virtual networks used for data and
 //!   directory traffic, with optional per-pair FIFO ordering (DirOpt);
 //! * [`TrafficLedger`] — per-link, per-class byte accounting (Figure 4).

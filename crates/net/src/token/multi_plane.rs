@@ -22,6 +22,7 @@ use tss_sim::Time;
 
 use crate::ids::NodeId;
 use crate::topology::Fabric;
+use crate::traffic::{MsgClass, TrafficLedger};
 
 use super::net::{DetailedDelivery, DetailedNet, DetailedNetConfig};
 
@@ -79,10 +80,14 @@ pub struct MultiPlaneNet<P> {
     planes: Vec<DetailedNet<P>>,
     fabric: Arc<Fabric>,
     rr: Vec<u32>,
-    /// Global per-source sequence (ties within one OT across planes).
-    seq: Vec<u64>,
     merge: Vec<BinaryHeap<Reverse<MergeEntry<P>>>>,
-    released: Vec<DetailedDelivery<P>>,
+    /// Entries the merge heaps still hold (skip GT scans when zero).
+    merge_pending: usize,
+    released: Vec<(Time, DetailedDelivery<P>)>,
+    /// All-plane traffic ledger (per-plane ledgers merged at inject time).
+    ledger: TrafficLedger,
+    injected: u64,
+    released_total: u64,
 }
 
 impl<P> MultiPlaneNet<P> {
@@ -93,12 +98,16 @@ impl<P> MultiPlaneNet<P> {
             .map(|p| DetailedNet::new(Arc::clone(&fabric), DetailedNetConfig { plane: p, ..cfg }))
             .collect();
         let n = fabric.num_nodes();
+        let ledger = TrafficLedger::new(&fabric);
         MultiPlaneNet {
             planes,
             rr: vec![0; n],
-            seq: vec![0; n],
             merge: (0..n).map(|_| BinaryHeap::new()).collect(),
+            merge_pending: 0,
             released: Vec::new(),
+            ledger,
+            injected: 0,
+            released_total: 0,
             fabric,
         }
     }
@@ -106,20 +115,47 @@ impl<P> MultiPlaneNet<P> {
     /// Broadcasts `payload` from `src` on the next plane in round-robin
     /// order; returns `(plane, ordering time)`.
     pub fn inject(&mut self, now: Time, src: NodeId, payload: P) -> (usize, u64) {
+        // Advance every plane (not just the injected one) to the
+        // injection instant: a lagging sibling plane would otherwise hand
+        // out stale next-event times and hold the min-GT release gate
+        // arbitrarily far in the past.
+        self.run_until(now);
         let plane = (self.rr[src.index()] as usize) % self.planes.len();
         self.rr[src.index()] = self.rr[src.index()].wrapping_add(1);
-        self.seq[src.index()] += 1;
         let ot = self.planes[plane].inject(now, src, payload);
+        self.ledger
+            .record_tree(self.fabric.tree(plane, src), MsgClass::Request);
+        self.injected += 1;
         (plane, ot)
     }
 
-    /// Advances every plane to `t` and merges newly processed deliveries
-    /// through the min-GT gate.
+    /// Advances every plane to `t`, stepping one event horizon at a time
+    /// and merging newly processed deliveries through the min-GT gate at
+    /// each step, so every release carries its *exact* gate-open instant
+    /// (see [`MultiPlaneNet::take_released`]) no matter how coarsely the
+    /// caller polls.
     pub fn run_until(&mut self, t: Time) {
+        while let Some(next) = self
+            .planes
+            .iter()
+            .filter_map(DetailedNet::next_event_at)
+            .min()
+            .filter(|&next| next <= t)
+        {
+            for p in &mut self.planes {
+                p.run_until(next);
+            }
+            self.collect_and_release(next);
+        }
+        // No events remain at or before `t`; just advance the clocks.
         for p in &mut self.planes {
             p.run_until(t);
         }
-        // Collect per-plane deliveries into the per-endpoint merge heaps.
+    }
+
+    /// Collects per-plane deliveries into the per-endpoint merge heaps and
+    /// releases everything below the min-GT frontier, stamped `at`.
+    fn collect_and_release(&mut self, at: Time) {
         for plane in 0..self.planes.len() {
             for d in self.planes[plane].take_deliveries() {
                 let e = MergeEntry {
@@ -133,7 +169,11 @@ impl<P> MultiPlaneNet<P> {
                     delivery: d,
                 };
                 self.merge[e.delivery.dest.index()].push(Reverse(e));
+                self.merge_pending += 1;
             }
+        }
+        if self.merge_pending == 0 {
+            return; // skip the per-node GT scan on idle token rounds
         }
         // Release entries at or below the min-GT frontier of each node.
         for node in 0..self.merge.len() {
@@ -148,7 +188,9 @@ impl<P> MultiPlaneNet<P> {
                     break;
                 }
                 let Reverse(e) = self.merge[node].pop().expect("peeked");
-                self.released.push(e.delivery);
+                self.released.push((at, e.delivery));
+                self.released_total += 1;
+                self.merge_pending -= 1;
             }
         }
     }
@@ -156,6 +198,15 @@ impl<P> MultiPlaneNet<P> {
     /// Takes the deliveries released so far (globally ordered per
     /// endpoint).
     pub fn take_deliveries(&mut self) -> Vec<DetailedDelivery<P>> {
+        self.take_released().into_iter().map(|(_, d)| d).collect()
+    }
+
+    /// Takes the deliveries released so far, each paired with the instant
+    /// its min-GT gate opened — the moment a coherence controller may
+    /// process it. Per-plane [`DetailedDelivery::processed_at`] can be
+    /// earlier (that plane ran ahead); the gate instant is the
+    /// system-visible ordering time.
+    pub fn take_released(&mut self) -> Vec<(Time, DetailedDelivery<P>)> {
         std::mem::take(&mut self.released)
     }
 
@@ -172,6 +223,38 @@ impl<P> MultiPlaneNet<P> {
     /// Number of planes.
     pub fn planes(&self) -> usize {
         self.planes.len()
+    }
+
+    /// Request-class traffic recorded across all planes.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// Endpoint-copies injected but not yet released through
+    /// [`MultiPlaneNet::take_deliveries`]'s backing store: in flight on a
+    /// plane, waiting in a per-plane reorder queue, or held back by the
+    /// min-GT merge gate.
+    pub fn outstanding(&self) -> u64 {
+        self.injected * self.fabric.num_nodes() as u64 - self.released_total
+    }
+
+    /// Timestamp of the earliest internal event across all planes. Token
+    /// circulation never stops, so this is `Some` for every live network.
+    pub fn next_event_at(&self) -> Option<Time> {
+        self.planes
+            .iter()
+            .filter_map(DetailedNet::next_event_at)
+            .min()
+    }
+
+    /// Largest switch-buffer occupancy observed on any plane — the
+    /// quantity a provisioned `buffer_depth` is checked against.
+    pub fn switch_buffer_high_water(&self) -> usize {
+        self.planes
+            .iter()
+            .map(|p| p.stats().switch_buffer_high_water)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The fabric.

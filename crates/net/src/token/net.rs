@@ -339,6 +339,21 @@ impl<P> DetailedNet<P> {
         self.core_ref(Vertex::node(node)).gt()
     }
 
+    /// Timestamp of the network's next internal event (token or
+    /// transaction hop), if any. Token circulation never stops, so this is
+    /// `Some` for every live network; callers use it to decide when to
+    /// [`DetailedNet::run_until`] next.
+    pub fn next_event_at(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// Endpoint-copies injected but not yet handed out through
+    /// [`DetailedNet::take_deliveries`]'s backing store: copies still in
+    /// flight, buffered in switches, or parked in endpoint reorder queues.
+    pub fn outstanding(&self) -> u64 {
+        self.injected * self.fabric.num_nodes() as u64 - self.processed
+    }
+
     /// Address traffic recorded so far (Request class).
     pub fn ledger(&self) -> &TrafficLedger {
         &self.ledger

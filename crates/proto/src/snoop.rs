@@ -92,6 +92,14 @@ struct Mshr {
     invalidated: bool,
     /// Snoops ordered while we were the logical owner without data (ImD).
     queued: VecDeque<(TxnKind, NodeId)>,
+    /// A `(value, from_cache)` data response that physically arrived
+    /// before our own request was ordered *here*. The data network is
+    /// unordered, so under address-network contention an owner whose
+    /// guarantee time runs ahead of ours can respond early; the response
+    /// waits in the MSHR and is consumed at our local ordering instant.
+    /// (Unloaded address models order every endpoint at one instant, so
+    /// they never populate this.)
+    early_data: Option<(u64, bool)>,
 }
 
 /// Outstanding writeback (PutM issued, not yet ordered).
@@ -162,6 +170,23 @@ impl Default for MemBlock {
             queue: VecDeque::new(),
             early_wbs: Vec::new(),
         }
+    }
+}
+
+impl MemBlock {
+    /// Opens a writeback slot, consuming a matching early-arrived
+    /// writeback if one is already stashed. The data network is
+    /// unordered, so when the address network runs contended the home's
+    /// guarantee time can lag the writer's and the `WbData`/`WbNoData`
+    /// physically beats the snoop of its own transaction; every site that
+    /// opens a slot must check the stash or the log stalls forever.
+    fn await_wb(&mut self, key: WbKey) -> MemEntry {
+        let resolved = self
+            .early_wbs
+            .iter()
+            .position(|(k, _)| *k == key)
+            .map(|i| self.early_wbs.remove(i).1);
+        MemEntry::AwaitWb { key, resolved }
     }
 }
 
@@ -291,59 +316,56 @@ impl TsSnoop {
                     kind: txn.kind,
                     r: txn.requester,
                 },
-                TxnKind::PutM => MemEntry::AwaitWb {
-                    key: WbKey::PutM(txn.requester),
-                    resolved: None,
-                },
+                TxnKind::PutM => mb.await_wb(WbKey::PutM(txn.requester)),
             };
             mb.queue.push_back(entry);
-            return;
-        }
-        match txn.kind {
-            TxnKind::GetS => {
-                if mb.owned {
-                    let value = mb.value;
-                    Self::send(
-                        out,
-                        home,
-                        txn.requester,
-                        Self::data_msg(txn.block, value, false),
-                        delay,
-                    );
-                } else {
-                    // A cache owns the block; it will respond *and* write
-                    // back (M→S forces the data home in MSI). Memory
-                    // stalls its log on that promised writeback.
-                    mb.queue.push_back(MemEntry::AwaitWb {
-                        key: WbKey::GetS(txn.requester),
-                        resolved: None,
-                    });
+        } else {
+            match txn.kind {
+                TxnKind::GetS => {
+                    if mb.owned {
+                        let value = mb.value;
+                        Self::send(
+                            out,
+                            home,
+                            txn.requester,
+                            Self::data_msg(txn.block, value, false),
+                            delay,
+                        );
+                    } else {
+                        // A cache owns the block; it will respond *and*
+                        // write back (M→S forces the data home in MSI).
+                        // Memory stalls its log on that promised writeback.
+                        let entry = mb.await_wb(WbKey::GetS(txn.requester));
+                        mb.queue.push_back(entry);
+                    }
+                }
+                TxnKind::GetM => {
+                    if mb.owned {
+                        let value = mb.value;
+                        mb.owned = false;
+                        Self::send(
+                            out,
+                            home,
+                            txn.requester,
+                            Self::data_msg(txn.block, value, false),
+                            delay,
+                        );
+                    }
+                    // else: the owning cache chain responds; no writeback
+                    // is promised (M moves cache-to-cache).
+                }
+                TxnKind::PutM => {
+                    // The evictor will send WbData (still owner) or
+                    // WbNoData (lost the race) when it sees its own PutM
+                    // ordered.
+                    let entry = mb.await_wb(WbKey::PutM(txn.requester));
+                    mb.queue.push_back(entry);
                 }
             }
-            TxnKind::GetM => {
-                if mb.owned {
-                    let value = mb.value;
-                    mb.owned = false;
-                    Self::send(
-                        out,
-                        home,
-                        txn.requester,
-                        Self::data_msg(txn.block, value, false),
-                        delay,
-                    );
-                }
-                // else: the owning cache chain responds; no writeback is
-                // promised (M moves cache-to-cache).
-            }
-            TxnKind::PutM => {
-                // The evictor will send WbData (still owner) or WbNoData
-                // (lost the race) when it sees its own PutM ordered.
-                mb.queue.push_back(MemEntry::AwaitWb {
-                    key: WbKey::PutM(txn.requester),
-                    resolved: None,
-                });
-            }
         }
+        // A slot opened above may already be resolved (its writeback
+        // arrived early); replay so the log cannot stall on it.
+        self.memory_replay(home, txn.block, out);
     }
 
     /// A writeback (data or no-data) landed at the home: resolve its slot
@@ -412,14 +434,11 @@ impl TsSnoop {
                                 // The owner chain serves this GetS and owes
                                 // memory a writeback: open the slot (it may
                                 // already have arrived early).
-                                let key = WbKey::GetS(r);
-                                let resolved =
-                                    match mb.early_wbs.iter().position(|(k, _)| *k == key) {
-                                        Some(i) => Some(mb.early_wbs.remove(i).1),
-                                        None => None,
-                                    };
-                                mb.queue.push_front(MemEntry::AwaitWb { key, resolved });
-                                if resolved.is_none() {
+                                let entry = mb.await_wb(WbKey::GetS(r));
+                                let unresolved =
+                                    matches!(entry, MemEntry::AwaitWb { resolved: None, .. });
+                                mb.queue.push_front(entry);
+                                if unresolved {
                                     break;
                                 }
                             }
@@ -544,7 +563,12 @@ impl TsSnoop {
                 // Other caches ignore PutM broadcasts.
             }
             TxnKind::GetS | TxnKind::GetM => {
-                // 1) Our own request reaching its ordering point.
+                // 1) Our own request reaching its ordering point. A data
+                // response that physically arrived early (unordered data
+                // network vs a contended address network) is consumed at
+                // the end of this snoop, once the ordering point's other
+                // effects have applied.
+                let mut early_data = None;
                 if is_mine {
                     if let Some(m) = self.nodes[me.index()].mshr.as_mut() {
                         if m.block == txn.block {
@@ -553,6 +577,7 @@ impl TsSnoop {
                                 MshrState::ImAd => MshrState::ImD,
                                 s => s,
                             };
+                            early_data = m.early_data.take();
                         }
                     }
                 }
@@ -656,6 +681,10 @@ impl TsSnoop {
                 if me == txn.block.home(self.n) {
                     self.memory_process(now, me, txn, arrival, out);
                 }
+                // Now that we are ordered, consume a parked early response.
+                if let Some((value, from_cache)) = early_data {
+                    self.data_arrived(now, me, txn.block, value, from_cache, out);
+                }
                 return;
             }
         }
@@ -675,6 +704,18 @@ impl TsSnoop {
         from_cache: bool,
         out: &mut Vec<ProtoAction>,
     ) {
+        // Early arrival: the data network is unordered, so a response can
+        // physically land before our own request's ordering point when
+        // address-network contention skews endpoint guarantee times. Park
+        // it in the MSHR; the snoop of our own request consumes it.
+        if let Some(m) = self.nodes[me.index()].mshr.as_mut() {
+            if matches!(m.state, MshrState::IsAd | MshrState::ImAd) {
+                assert_eq!(m.block, block, "data for the wrong block");
+                assert!(m.early_data.is_none(), "duplicate data response");
+                m.early_data = Some((value, from_cache));
+                return;
+            }
+        }
         let m = self.nodes[me.index()]
             .mshr
             .take()
@@ -769,6 +810,7 @@ impl Protocol for TsSnoop {
                     state,
                     invalidated: false,
                     queued: VecDeque::new(),
+                    early_data: None,
                 });
                 out.push(ProtoAction::Broadcast {
                     src: node,

@@ -2,7 +2,7 @@
 //! builder, the declarative grid runner, and the JSON report artifacts.
 
 use tss::experiment::{ExperimentGrid, GridReport, SCHEMA_VERSION};
-use tss::{ConfigError, ProtocolKind, System, TopologyKind};
+use tss::{ConfigError, NetworkModelSpec, ProtocolKind, System, TopologyKind};
 use tss_bench::Cli;
 use tss_proto::CacheConfig;
 use tss_workloads::paper;
@@ -127,6 +127,96 @@ fn report_round_trips_through_serde_json() {
         value.get("schema"),
         Some(&serde_json::Value::U64(u64::from(SCHEMA_VERSION)))
     );
+}
+
+#[test]
+fn v1_reports_migrate_forward_to_the_current_schema() {
+    // Fabricate a genuine v1 document: schema 2 is exactly schema 1 plus
+    // the network-model axis, so stripping those fields and restamping
+    // reproduces what PR 2 wrote to disk.
+    let report = tiny_grid(3).run().unwrap();
+    let v2 = report.to_json();
+    let v1 = v2
+        .replace("\"schema\": 2", "\"schema\": 1")
+        .replace("  \"nets\": [\n    \"fast\"\n  ],\n", "")
+        .replace("      \"net\": \"fast\",\n", "");
+    assert_ne!(v1, v2, "the v1 fixture must actually drop the new fields");
+    assert!(!v1.contains("net"), "fixture still mentions the new axis");
+
+    let migrated = GridReport::from_json(&v1).expect("v1 documents stay loadable");
+    assert_eq!(migrated.schema, SCHEMA_VERSION);
+    assert_eq!(migrated.nets, vec![NetworkModelSpec::Fast]);
+    assert!(migrated
+        .cells
+        .iter()
+        .all(|c| c.net == NetworkModelSpec::Fast));
+    // Migration fills the fields at their canonical positions, so the
+    // round trip lands byte-for-byte on the v2 rendering.
+    assert_eq!(migrated.to_json(), v2);
+
+    // Unknown future schemas are refused, not guessed at.
+    let v99 = v2.replace("\"schema\": 2", "\"schema\": 99");
+    let err = GridReport::from_json(&v99).unwrap_err();
+    assert!(err.to_string().contains("unsupported"), "{err}");
+}
+
+#[test]
+fn nets_axis_runs_detailed_cells_no_faster_than_fast() {
+    let report = ExperimentGrid::new("nets-axis")
+        .workloads(vec![paper::barnes(0.001)])
+        .topologies([TopologyKind::Torus4x4])
+        .protocols([ProtocolKind::TsSnoop])
+        .nets([NetworkModelSpec::Fast, NetworkModelSpec::detailed(5)])
+        .seeds([1])
+        .cache(CacheConfig::tiny(1024, 4))
+        .run()
+        .unwrap();
+    assert_eq!(report.cells.len(), 2);
+    let fast = report
+        .cell_for_net(
+            "Barnes",
+            TopologyKind::Torus4x4,
+            ProtocolKind::TsSnoop,
+            NetworkModelSpec::Fast,
+        )
+        .expect("fast cell ran");
+    let detailed = report
+        .cell_for_net(
+            "Barnes",
+            TopologyKind::Torus4x4,
+            ProtocolKind::TsSnoop,
+            NetworkModelSpec::detailed(5),
+        )
+        .expect("detailed cell ran");
+    // The acceptance bar: on the same seed, the detailed token network
+    // never serves misses faster than the closed-form unloaded model.
+    assert!(
+        detailed.stats.miss_latency.mean_ns() >= fast.stats.miss_latency.mean_ns(),
+        "detailed {:?} vs fast {:?}",
+        detailed.stats.miss_latency.mean_ns(),
+        fast.stats.miss_latency.mean_ns()
+    );
+    assert!(detailed.runtime_ns() >= fast.runtime_ns());
+    // And the axis is faithfully echoed into the artifact.
+    let back = GridReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(
+        back.nets,
+        vec![NetworkModelSpec::Fast, NetworkModelSpec::detailed(5)]
+    );
+
+    // An invalid detailed spec is rejected up front, before any cell runs.
+    let err = ExperimentGrid::new("bad-net")
+        .workloads(vec![paper::barnes(0.001)])
+        .nets([NetworkModelSpec::Detailed {
+            link_occupancy: tss_sim::Duration::from_ns(5),
+            initial_slack: 0,
+            buffer_depth: 64,
+        }])
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::BadNetworkModel { .. }), "{err}");
+    let err = tiny_grid(0).nets([]).run().unwrap_err();
+    assert_eq!(err, ConfigError::EmptyAxis { axis: "nets" });
 }
 
 #[test]
