@@ -16,6 +16,7 @@
 //! | `latency` | per-protocol single-miss latencies vs the Table 2 closed forms |
 //! | `grid` | fully declarative runner: every axis from the command line |
 //! | `contention` | detailed-token-network sweep: link occupancy × initial slack vs the fast model |
+//! | `perf` | simulator hot-path benchmarks → `BENCH_hotpath.json` (the perf trajectory; own CLI, see its docs) |
 //!
 //! All binaries share one CLI ([`Cli`]): `--scale`, `--seeds`,
 //! `--perturbation`, `--seed`, plus the grid filters `--protocols`,

@@ -17,8 +17,9 @@
 //!
 //! 1. [`AddressNet::inject`] broadcasts a payload and returns a **poll
 //!    hint** — the earliest instant at which draining may make progress;
-//! 2. [`AddressNet::drain`] advances the model to `now` and returns every
-//!    endpoint copy whose ordering instant has been reached;
+//! 2. [`AddressNet::drain_into`] advances the model to `now` and appends
+//!    every endpoint copy whose ordering instant has been reached to a
+//!    caller-owned (and caller-reused) buffer;
 //! 3. [`AddressNet::next_ready`] reports when to poll again (`None` once
 //!    nothing is pending, which lets the caller's event loop quiesce even
 //!    though the detailed model's token wave never stops).
@@ -58,13 +59,15 @@
 //! );
 //!
 //! let hint = fast.inject(Time::from_ns(40), NodeId(1), "GETS A");
-//! let fast_instant = fast.drain(hint)[0].ordered_at;
+//! let mut fast_out = Vec::new();
+//! fast.drain_into(hint, &mut fast_out);
+//! let fast_instant = fast_out[0].ordered_at;
 //!
 //! detailed.inject(Time::from_ns(40), NodeId(1), "GETS A");
 //! let mut out = Vec::new();
 //! while out.is_empty() {
 //!     let at = detailed.next_ready().expect("copies outstanding");
-//!     out = detailed.drain(at);
+//!     detailed.drain_into(at, &mut out);
 //! }
 //! assert_eq!(out.len(), 16); // snooped by every endpoint, same instant
 //! assert_eq!(out[0].ordered_at, fast_instant);
@@ -105,22 +108,29 @@ pub struct AddrDelivery<P> {
 pub trait AddressNet<P>: Send {
     /// Broadcasts `payload` from `src` at `now`, which must be
     /// non-decreasing across calls. Returns the earliest instant at which
-    /// [`AddressNet::drain`] may make progress on this broadcast.
+    /// [`AddressNet::drain_into`] may make progress on this broadcast.
     fn inject(&mut self, now: Time, src: NodeId, payload: P) -> Time;
 
     /// Advances the model to `now` (non-decreasing across calls, and at
-    /// least as late as every prior `inject`) and returns all endpoint
-    /// copies whose ordering instants have been reached, in the total
-    /// order within each endpoint.
-    fn drain(&mut self, now: Time) -> Vec<AddrDelivery<P>>;
+    /// least as late as every prior `inject`) and appends all endpoint
+    /// copies whose ordering instants have been reached to `out`, in the
+    /// total order within each endpoint. Appending into a caller-owned
+    /// buffer lets the event loop reuse one allocation across every poll.
+    fn drain_into(&mut self, now: Time, out: &mut Vec<AddrDelivery<P>>);
 
-    /// When to poll [`AddressNet::drain`] next: `Some` while any endpoint
-    /// copy is still pending, `None` once quiescent. Callers re-arm one
-    /// poll event from this after every drain.
+    /// When to poll [`AddressNet::drain_into`] next: `Some` while any
+    /// endpoint copy is still pending, `None` once quiescent. Callers
+    /// re-arm one poll event from this after every drain.
     fn next_ready(&self) -> Option<Time>;
 
     /// Request-class traffic recorded so far.
     fn ledger(&self) -> &TrafficLedger;
+
+    /// Idle token waves skipped in closed form so far (detailed model
+    /// instrumentation; the fast model has no waves to skip).
+    fn waves_skipped(&self) -> u64 {
+        0
+    }
 }
 
 /// [`AddressNet`] over the closed-form unloaded model
@@ -129,6 +139,8 @@ pub trait AddressNet<P>: Send {
 #[derive(Debug)]
 pub struct FastAddressNet<P> {
     net: FastOrderedNet<P>,
+    /// Reusable buffer for the raw deliveries of one drain.
+    scratch: Vec<tss_net::Delivery<P>>,
 }
 
 impl<P> FastAddressNet<P> {
@@ -136,6 +148,7 @@ impl<P> FastAddressNet<P> {
     pub fn new(fabric: Arc<Fabric>, timing: OrderedNetTiming) -> Self {
         FastAddressNet {
             net: FastOrderedNet::new(fabric, timing),
+            scratch: Vec::new(),
         }
     }
 }
@@ -146,18 +159,15 @@ impl<P: Send + Sync> AddressNet<P> for FastAddressNet<P> {
         self.net.inject(now, src, payload)
     }
 
-    fn drain(&mut self, now: Time) -> Vec<AddrDelivery<P>> {
-        self.net
-            .drain(now)
-            .into_iter()
-            .map(|d| AddrDelivery {
-                dest: d.dest,
-                src: d.src,
-                arrival: d.arrival,
-                ordered_at: d.ordered_at,
-                payload: d.payload,
-            })
-            .collect()
+    fn drain_into(&mut self, now: Time, out: &mut Vec<AddrDelivery<P>>) {
+        self.net.drain_into(now, &mut self.scratch);
+        out.extend(self.scratch.drain(..).map(|d| AddrDelivery {
+            dest: d.dest,
+            src: d.src,
+            arrival: d.arrival,
+            ordered_at: d.ordered_at,
+            payload: d.payload,
+        }));
     }
 
     fn next_ready(&self) -> Option<Time> {
@@ -219,22 +229,22 @@ impl<P: Send + Sync> AddressNet<P> for DetailedAddressNet<P> {
             .expect("token circulation never stops")
     }
 
-    fn drain(&mut self, now: Time) -> Vec<AddrDelivery<P>> {
+    fn drain_into(&mut self, now: Time, out: &mut Vec<AddrDelivery<P>>) {
         self.net.run_until(now);
         self.check_buffers();
-        self.net
-            .take_released()
-            .into_iter()
-            .map(|(gate_open, d)| AddrDelivery {
-                dest: d.dest,
-                src: d.src,
-                arrival: d.arrival,
-                // The exact instant the min-GT gate opened for this copy —
-                // correct even if the caller drains later than that.
-                ordered_at: gate_open,
-                payload: d.payload,
-            })
-            .collect()
+        out.extend(
+            self.net
+                .drain_released()
+                .map(|(gate_open, d)| AddrDelivery {
+                    dest: d.dest,
+                    src: d.src,
+                    arrival: d.arrival,
+                    // The exact instant the min-GT gate opened for this copy —
+                    // correct even if the caller drains later than that.
+                    ordered_at: gate_open,
+                    payload: d.payload,
+                }),
+        );
     }
 
     fn next_ready(&self) -> Option<Time> {
@@ -246,6 +256,10 @@ impl<P: Send + Sync> AddressNet<P> for DetailedAddressNet<P> {
 
     fn ledger(&self) -> &TrafficLedger {
         self.net.ledger()
+    }
+
+    fn waves_skipped(&self) -> u64 {
+        self.net.waves_skipped()
     }
 }
 
@@ -296,7 +310,7 @@ mod tests {
         let mut out = Vec::new();
         while out.len() < expected {
             let at = net.next_ready().expect("deliveries still outstanding");
-            out.extend(net.drain(at));
+            net.drain_into(at, &mut out);
         }
         assert!(net.next_ready().is_none(), "net should be quiescent");
         out
@@ -309,7 +323,8 @@ mod tests {
         let hint = net.inject(Time::from_ns(100), NodeId(0), 7u32);
         assert_eq!(hint, Time::from_ns(149)); // Table 2 one-way latency
         assert_eq!(net.next_ready(), Some(hint));
-        let out = net.drain(hint);
+        let mut out = Vec::new();
+        net.drain_into(hint, &mut out);
         assert_eq!(out.len(), 16);
         assert!(out.iter().all(|d| d.ordered_at == hint));
         assert!(net.next_ready().is_none());
@@ -377,9 +392,10 @@ mod tests {
         for i in 0..16 {
             net.inject(Time::from_ns(40 + i), NodeId(0), i as u32);
         }
+        let mut sink = Vec::new();
         while net.next_ready().is_some() {
             let at = net.next_ready().unwrap();
-            net.drain(at);
+            net.drain_into(at, &mut sink);
         }
     }
 

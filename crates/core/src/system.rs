@@ -18,7 +18,6 @@
 //! chain (`schedule_addr_poll`) drains ordered transactions as their
 //! instants arrive.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use tss_net::{MsgClass, NodeId, TrafficLedger, UnicastNet, VnetOrdering};
@@ -26,6 +25,7 @@ use tss_proto::{
     AddrTxn, Block, CpuOp, DirClassic, DirOpt, DirTiming, Msg, ProtoAction, ProtoEvent, Protocol,
     ProtocolStats, SnoopTiming, TsSnoop, Vnet,
 };
+use tss_sim::hash::FastSet;
 use tss_sim::rng::SimRng;
 use tss_sim::stats::LatencyStat;
 use tss_sim::{Duration, EventQueue, Time};
@@ -109,6 +109,25 @@ pub struct RunResult {
     /// Per-CPU `(op, observed value)` log, populated only when
     /// [`SystemConfig::record_observations`] is set (litmus tests).
     pub observations: Vec<Vec<(CpuOp, u64)>>,
+    /// Host-side hot-path counters (perf diagnostics; deliberately *not*
+    /// part of [`SystemStats`], which is serialized into `GridReport`
+    /// artifacts whose bytes are pinned across optimisation PRs).
+    pub perf: HostPerf,
+}
+
+/// Host-side (wall-clock-world) counters the `perf` bench bin reports:
+/// how much work the simulator avoided, not what the target measured.
+/// (The raw event count already lives in the serialized
+/// [`SystemStats::events_processed`].)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostPerf {
+    /// Event-loop iterations whose action buffer was served from the
+    /// retained scratch allocation (i.e. heap allocations avoided by
+    /// reusing one `Vec<ProtoAction>` across dispatches).
+    pub action_allocs_avoided: u64,
+    /// Idle token waves the detailed address network skipped in closed
+    /// form instead of simulating (0 under the fast model).
+    pub waves_skipped: u64,
 }
 
 #[derive(Debug)]
@@ -145,7 +164,7 @@ pub struct System {
     cpus: Vec<Cpu>,
     events: EventQueue<Ev>,
     jitter_rng: SimRng,
-    touched: HashSet<Block>,
+    touched: FastSet<Block>,
     miss_latency: LatencyStat,
     miss_latency_per_node: Vec<LatencyStat>,
     observations: Vec<Vec<(CpuOp, u64)>>,
@@ -303,7 +322,7 @@ impl System {
             cpus,
             events: EventQueue::new(),
             jitter_rng,
-            touched: HashSet::new(),
+            touched: FastSet::default(),
             miss_latency: LatencyStat::new(),
             miss_latency_per_node: vec![LatencyStat::new(); n],
             observations,
@@ -323,8 +342,18 @@ impl System {
             }
         }
 
+        // One action buffer and one delivery buffer for the whole run:
+        // protocol dispatch and address-net drains append into retained
+        // scratch space instead of allocating per event.
+        let mut actions: Vec<ProtoAction> = Vec::new();
+        let mut snoops: Vec<crate::address_net::AddrDelivery<AddrTxn>> = Vec::new();
+        let mut allocs_avoided = 0u64;
+
         while let Some((now, ev)) = self.events.pop() {
-            let mut actions = Vec::new();
+            debug_assert!(actions.is_empty());
+            if actions.capacity() > 0 {
+                allocs_avoided += 1;
+            }
             match ev {
                 Ev::Issue { cpu, op } => {
                     self.touched.insert(op.block());
@@ -336,7 +365,8 @@ impl System {
                         self.addr_poll_at = None;
                     }
                     let addr = self.addr.as_mut().expect("drain without snooping");
-                    for d in addr.drain(now) {
+                    addr.drain_into(now, &mut snoops);
+                    for d in snoops.drain(..) {
                         self.protocol.handle(
                             now,
                             ProtoEvent::Snooped {
@@ -359,7 +389,7 @@ impl System {
                         .handle(now, ProtoEvent::Delivered { dest, msg }, &mut actions);
                 }
             }
-            self.process_actions(now, actions);
+            self.process_actions(now, &mut actions);
         }
 
         assert_eq!(
@@ -405,6 +435,10 @@ impl System {
         RunResult {
             stats,
             observations: self.observations,
+            perf: HostPerf {
+                action_allocs_avoided: allocs_avoided,
+                waves_skipped: self.addr.as_ref().map_or(0, |a| a.waves_skipped()),
+            },
         }
     }
 
@@ -419,8 +453,10 @@ impl System {
         }
     }
 
-    fn process_actions(&mut self, now: Time, actions: Vec<ProtoAction>) {
-        for a in actions {
+    /// Applies the actions one dispatch produced, draining (and thereby
+    /// recycling) the caller's scratch buffer.
+    fn process_actions(&mut self, now: Time, actions: &mut Vec<ProtoAction>) {
+        for a in actions.drain(..) {
             match a {
                 ProtoAction::Broadcast { src, txn } => {
                     let addr = self.addr.as_mut().expect("broadcast without snooping");

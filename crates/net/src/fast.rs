@@ -16,9 +16,13 @@
 //!   `OT·τ` (its physical copies are guaranteed to have arrived by then —
 //!   validated by an assertion on every delivery).
 //!
-//! Endpoints still run a real priority queue (the "augmented priority
-//! queue" of §2.2) keyed by `(OT, source, sequence)`, so the established
-//! total order is explicit and testable. The detailed token-passing
+//! The "augmented priority queue" of §2.2 is still real — a priority
+//! queue keyed by `(OT, source, sequence)` — but since every endpoint of
+//! the unloaded model holds an identical queue, the implementation keeps
+//! **one** shared queue with a single entry per broadcast and derives the
+//! N endpoint copies (per-destination arrival times included) at drain
+//! time. Injection is O(log pending) instead of O(N log pending), and the
+//! established total order stays explicit and testable. The detailed token-passing
 //! network ([`DetailedNet`](crate::DetailedNet)) produces the same total
 //! order and the same ordering instants when unloaded, offset by exactly
 //! one conservative tick (its endpoints close tick X only when the token
@@ -142,12 +146,18 @@ pub struct Delivery<P> {
     pub payload: Arc<P>,
 }
 
+/// One pending broadcast, stored **once** (not once per endpoint): every
+/// endpoint sees the same `(OT, source, sequence)` total order in the
+/// unloaded model, so the per-endpoint copies are derived at drain time
+/// instead of being cloned into N reorder queues at injection.
 #[derive(Debug)]
 struct Pending<P> {
     ot: u64,
     src: NodeId,
     seq: u64,
-    arrival: Time,
+    /// Plane the broadcast tree was drawn from (round-robin per source).
+    plane: usize,
+    injected_at: Time,
     ordered_at: Time,
     payload: Arc<P>,
 }
@@ -196,7 +206,11 @@ impl<P> Pending<P> {
 pub struct FastOrderedNet<P> {
     fabric: Arc<Fabric>,
     timing: OrderedNetTiming,
-    queues: Vec<BinaryHeap<Reverse<Pending<P>>>>,
+    /// One entry per broadcast; the N endpoint copies are materialised at
+    /// drain time (see [`Pending`]).
+    pending: BinaryHeap<Reverse<Pending<P>>>,
+    /// Reusable scratch for the broadcasts popped by one drain.
+    ready: Vec<Pending<P>>,
     seq: Vec<u64>,
     plane_rr: Vec<u32>,
     ledger: TrafficLedger,
@@ -220,7 +234,8 @@ impl<P> FastOrderedNet<P> {
         FastOrderedNet {
             fabric,
             timing,
-            queues: (0..n).map(|_| BinaryHeap::new()).collect(),
+            pending: BinaryHeap::new(),
+            ready: Vec::new(),
             seq: vec![0; n],
             plane_rr: vec![0; n],
             ledger,
@@ -228,6 +243,18 @@ impl<P> FastOrderedNet<P> {
             depth_at_insert: Histogram::new(64),
             injected: 0,
             delivered: 0,
+        }
+    }
+
+    /// Physical arrival delay of `src`'s broadcast (on `plane`) at `dest`,
+    /// in nanoseconds from injection.
+    fn arrival_ns(&self, plane: usize, src: NodeId, dest: usize) -> u64 {
+        let tree = self.fabric.tree(plane, src);
+        match self.timing.hops {
+            HopTiming::Weighted { d_ovh, d_switch } => {
+                d_ovh.as_ns() + d_switch.as_ns() * tree.node_depth_weighted[dest] as u64
+            }
+            HopTiming::UniformLinks { link } => link.as_ns() * tree.node_depth_links[dest] as u64,
         }
     }
 
@@ -244,50 +271,43 @@ impl<P> FastOrderedNet<P> {
 
         let tau = self.timing.tick.as_ns();
         let gt_src = now.as_ns() / tau;
-        let (dmax_ns, arrival_of): (u64, Box<dyn Fn(usize) -> u64>) = match self.timing.hops {
+        let dmax_ns = match self.timing.hops {
             HopTiming::Weighted { d_ovh, d_switch } => {
-                let depths = tree.node_depth_weighted.clone();
-                let (o, s) = (d_ovh.as_ns(), d_switch.as_ns());
-                (
-                    o + s * tree.max_depth_weighted as u64,
-                    Box::new(move |d: usize| o + s * depths[d] as u64),
-                )
+                d_ovh.as_ns() + d_switch.as_ns() * tree.max_depth_weighted as u64
             }
-            HopTiming::UniformLinks { link } => {
-                let depths = tree.node_depth_links.clone();
-                let l = link.as_ns();
-                (
-                    l * tree.max_depth_links as u64,
-                    Box::new(move |d: usize| l * depths[d] as u64),
-                )
-            }
+            HopTiming::UniformLinks { link } => link.as_ns() * tree.max_depth_links as u64,
         };
         let dmax_ticks = dmax_ns.div_ceil(tau);
         let ot = gt_src + dmax_ticks + self.timing.initial_slack;
         let ordered_at = Time::from_ns(ot * tau);
+        // The furthest destination is the binding one; nearer copies only
+        // arrive earlier (per-copy arrivals are derived at drain time).
+        assert!(
+            now + Duration::from_ns(dmax_ns) <= ordered_at,
+            "transaction would miss its ordering deadline \
+             (arrival {:?} > ordered {ordered_at:?})",
+            now + Duration::from_ns(dmax_ns)
+        );
 
         let seq = self.seq[src.index()];
         self.seq[src.index()] += 1;
-        let payload = Arc::new(payload);
 
-        for dest in 0..self.fabric.num_nodes() {
-            let arrival = now + Duration::from_ns(arrival_of(dest));
-            assert!(
-                arrival <= ordered_at,
-                "transaction would miss its ordering deadline \
-                 (arrival {arrival:?} > ordered {ordered_at:?})"
-            );
-            self.residency.record(ordered_at.since(arrival));
-            self.depth_at_insert.record(self.queues[dest].len() as u64);
-            self.queues[dest].push(Reverse(Pending {
-                ot,
-                src,
-                seq,
-                arrival,
-                ordered_at,
-                payload: Arc::clone(&payload),
-            }));
+        // Every endpoint's reorder queue holds exactly the pending
+        // broadcasts, so the per-endpoint depth at insertion is the shared
+        // heap's depth — recorded once per (endpoint, broadcast) to keep
+        // the histogram's sample population unchanged.
+        for _ in 0..self.fabric.num_nodes() {
+            self.depth_at_insert.record(self.pending.len() as u64);
         }
+        self.pending.push(Reverse(Pending {
+            ot,
+            src,
+            seq,
+            plane,
+            injected_at: now,
+            ordered_at,
+            payload: Arc::new(payload),
+        }));
 
         self.ledger.record_tree(tree, MsgClass::Request);
         self.injected += 1;
@@ -301,25 +321,50 @@ impl<P> FastOrderedNet<P> {
     /// the `(OT, source, sequence)` total order exactly.
     pub fn drain(&mut self, now: Time) -> Vec<Delivery<P>> {
         let mut out = Vec::new();
-        for dest in 0..self.queues.len() {
-            while let Some(Reverse(top)) = self.queues[dest].peek() {
-                if top.ordered_at > now {
-                    break;
-                }
-                let Reverse(p) = self.queues[dest].pop().expect("peeked entry exists");
+        self.drain_into(now, &mut out);
+        out
+    }
+
+    /// [`FastOrderedNet::drain`], but appending into a caller-owned buffer
+    /// so the per-poll allocation can be amortised by the event loop.
+    pub fn drain_into(&mut self, now: Time, out: &mut Vec<Delivery<P>>) {
+        debug_assert!(self.ready.is_empty());
+        while let Some(Reverse(top)) = self.pending.peek() {
+            if top.ordered_at > now {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked entry exists");
+            self.ready.push(p);
+        }
+        if self.ready.is_empty() {
+            return;
+        }
+        let n = self.fabric.num_nodes();
+        out.reserve(self.ready.len() * n);
+        for dest in 0..n {
+            for i in 0..self.ready.len() {
+                let arrival = self.ready[i].injected_at
+                    + Duration::from_ns(self.arrival_ns(
+                        self.ready[i].plane,
+                        self.ready[i].src,
+                        dest,
+                    ));
+                let p = &self.ready[i];
+                debug_assert!(arrival <= p.ordered_at);
+                self.residency.record(p.ordered_at.since(arrival));
                 out.push(Delivery {
                     dest: NodeId(dest as u16),
                     src: p.src,
                     seq: p.seq,
                     ot: p.ot,
-                    arrival: p.arrival,
+                    arrival,
                     ordered_at: p.ordered_at,
-                    payload: p.payload,
+                    payload: Arc::clone(&p.payload),
                 });
                 self.delivered += 1;
             }
         }
-        out
+        self.ready.clear();
     }
 
     /// Transactions injected so far.
@@ -335,16 +380,15 @@ impl<P> FastOrderedNet<P> {
 
     /// Total endpoint-copies still awaiting their ordering time.
     pub fn pending(&self) -> usize {
-        self.queues.iter().map(BinaryHeap::len).sum()
+        self.pending.len() * self.fabric.num_nodes()
     }
 
     /// Earliest ordering instant among still-pending deliveries — when the
-    /// next [`FastOrderedNet::drain`] call can make progress.
+    /// next [`FastOrderedNet::drain`] call can make progress. The heap is
+    /// `(OT, source, seq)`-ordered and `ordered_at` is monotone in OT, so
+    /// the top entry carries the minimum.
     pub fn next_ordered_at(&self) -> Option<Time> {
-        self.queues
-            .iter()
-            .filter_map(|q| q.peek().map(|Reverse(p)| p.ordered_at))
-            .min()
+        self.pending.peek().map(|Reverse(p)| p.ordered_at)
     }
 
     /// The address-network traffic ledger (Request-class bytes).

@@ -26,6 +26,12 @@ struct BufEntry<T> {
 /// propagates it sends a token on each output, decrements the slack of all
 /// buffered transactions, and decrements every input token counter.
 ///
+/// The propagation preconditions are tracked incrementally (`armed_ports`
+/// counts inputs holding a token, `zero_slack` counts buffered copies a
+/// token may not pass), so the per-token hot path — this fires once per
+/// link per wave in the detailed network — is O(1) instead of a scan over
+/// every port and buffer.
+///
 /// # Example (Figure 1)
 ///
 /// ```
@@ -64,6 +70,10 @@ pub struct SwitchCore<T> {
     arrivals: u64,
     buffered: usize,
     buffer_high_water: usize,
+    /// Input ports currently holding at least one token.
+    armed_ports: usize,
+    /// Buffered copies whose slack is zero (they block propagation).
+    zero_slack: usize,
 }
 
 impl<T> SwitchCore<T> {
@@ -84,16 +94,23 @@ impl<T> SwitchCore<T> {
             arrivals: 0,
             buffered: 0,
             buffer_high_water: 0,
+            armed_ports: 0,
+            zero_slack: 0,
         }
     }
 
     /// A token arrives on `in_port`.
+    #[inline]
     pub fn token_arrives(&mut self, in_port: usize) {
+        if self.token_count[in_port] == 0 {
+            self.armed_ports += 1;
+        }
         self.token_count[in_port] += 1;
     }
 
     /// A transaction with `slack` enters on `in_port`; returns the adjusted
     /// slack (rule 1: `ΔGT` = pending tokens it moves past).
+    #[inline]
     pub fn txn_enters(&mut self, in_port: usize, slack: u64) -> u64 {
         slack + self.token_count[in_port]
     }
@@ -101,6 +118,9 @@ impl<T> SwitchCore<T> {
     /// Buffers a transaction copy for `out_port` (link busy); `delta_d` is
     /// applied when the copy is eventually sent.
     pub fn buffer(&mut self, out_port: usize, slack: u64, delta_d: u64, txn: T) {
+        if slack == 0 {
+            self.zero_slack += 1;
+        }
         self.out_bufs[out_port].push(BufEntry {
             slack,
             delta_d,
@@ -114,9 +134,9 @@ impl<T> SwitchCore<T> {
 
     /// Whether the propagation conditions hold: every input has a pending
     /// token and no buffered transaction has zero slack.
+    #[inline]
     pub fn can_propagate(&self) -> bool {
-        self.token_count.iter().all(|&c| c > 0)
-            && self.out_bufs.iter().flatten().all(|e| e.slack > 0)
+        self.armed_ports == self.token_count.len() && self.zero_slack == 0
     }
 
     /// Propagates one token if possible (rule 2), returning whether it
@@ -128,10 +148,18 @@ impl<T> SwitchCore<T> {
         }
         for c in &mut self.token_count {
             *c -= 1;
+            if *c == 0 {
+                self.armed_ports -= 1;
+            }
         }
-        for e in self.out_bufs.iter_mut().flatten() {
-            debug_assert!(e.slack > 0, "token would pass a zero-slack transaction");
-            e.slack -= 1;
+        if self.buffered > 0 {
+            for e in self.out_bufs.iter_mut().flatten() {
+                debug_assert!(e.slack > 0, "token would pass a zero-slack transaction");
+                e.slack -= 1;
+                if e.slack == 0 {
+                    self.zero_slack += 1;
+                }
+            }
         }
         self.gt += 1;
         true
@@ -150,6 +178,9 @@ impl<T> SwitchCore<T> {
             .0;
         let e = buf.swap_remove(best);
         self.buffered -= 1;
+        if e.slack == 0 {
+            self.zero_slack -= 1;
+        }
         Some((e.slack + e.delta_d, e.txn))
     }
 
@@ -171,8 +202,30 @@ impl<T> SwitchCore<T> {
     }
 
     /// Tokens propagated so far: the switch's guarantee time.
+    #[inline]
     pub fn gt(&self) -> u64 {
         self.gt
+    }
+
+    /// Whether any input port holds an unconsumed token — `false` in the
+    /// idle lock-step steady state between two wave instants.
+    pub fn has_pending_tokens(&self) -> bool {
+        self.armed_ports > 0
+    }
+
+    /// Advances the guarantee time by `k` whole propagations without
+    /// touching token counters or buffers: the closed-form equivalent of
+    /// `k` idle lock-step waves (each of which consumes one token per
+    /// input and emits one per output, returning the switch to the exact
+    /// same state with `gt + 1`). Callers must have verified the idle
+    /// steady state first — see `DetailedNet::fast_forward_idle`.
+    pub fn advance_gt(&mut self, k: u64) {
+        debug_assert!(
+            !self.has_pending_tokens(),
+            "fast-forward of a non-idle switch"
+        );
+        debug_assert_eq!(self.buffered, 0, "fast-forward with buffered transactions");
+        self.gt += k;
     }
 
     /// Pending (unconsumed) tokens on `in_port`.
@@ -258,6 +311,7 @@ mod tests {
         assert_eq!(sw.gt(), 1);
         // All counters consumed.
         assert!((0..3).all(|p| sw.tokens_pending(p) == 0));
+        assert!(!sw.has_pending_tokens());
     }
 
     #[test]
@@ -291,6 +345,24 @@ mod tests {
         assert_eq!(sw.buffer_high_water(), 2);
         assert_eq!(sw.buffered(), 2);
         assert_eq!(sw.queued(1), 2);
+    }
+
+    /// The incremental propagation counters must stay consistent with the
+    /// naive scans across every slack transition (buffer → token passes →
+    /// zero → drained).
+    #[test]
+    fn incremental_counters_track_slack_transitions() {
+        let mut sw: SwitchCore<u32> = SwitchCore::new(1, 1);
+        sw.buffer(0, 1, 0, 7); // slack 1: does not block
+        sw.token_arrives(0);
+        assert!(sw.can_propagate());
+        assert!(sw.propagate()); // slack drops to 0: now blocks
+        sw.token_arrives(0);
+        assert!(!sw.can_propagate(), "zero-slack copy must block the token");
+        assert_eq!(sw.pop_sendable(0), Some((0, 7)));
+        assert!(sw.can_propagate(), "draining the copy unblocks propagation");
+        assert!(sw.propagate());
+        assert_eq!(sw.gt(), 2);
     }
 
     #[test]

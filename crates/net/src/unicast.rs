@@ -7,7 +7,7 @@
 //! latency; the paper's perturbation methodology adds small random delays,
 //! which callers pass in as `extra`.
 
-use std::collections::HashMap;
+use tss_sim::hash::FastMap;
 
 use tss_sim::{Duration, Time};
 
@@ -52,7 +52,7 @@ pub struct UnicastNet {
     d_switch: Duration,
     ledger: TrafficLedger,
     plane_rr: Vec<u32>,
-    last_delivery: HashMap<(NodeId, NodeId), Time>,
+    last_delivery: FastMap<(NodeId, NodeId), Time>,
 }
 
 impl UnicastNet {
@@ -85,7 +85,7 @@ impl UnicastNet {
             d_switch,
             ledger,
             plane_rr: vec![0; n],
-            last_delivery: HashMap::new(),
+            last_delivery: FastMap::default(),
         }
     }
 

@@ -4,7 +4,7 @@
 //! The paper's target: a unified 4 MB, 4-way, 64-byte-block L2 per node
 //! (§4.2), with silent S→I downgrades allowed.
 
-use std::collections::HashMap;
+use tss_sim::hash::FastMap;
 
 use crate::types::Block;
 
@@ -84,7 +84,7 @@ pub struct L2Cache {
     tick: u64,
     /// Blocks this node has ever touched (Table 3's "total data touched"
     /// is the union across nodes).
-    touched: HashMap<Block, ()>,
+    touched: FastMap<Block, ()>,
 }
 
 impl L2Cache {
@@ -100,7 +100,7 @@ impl L2Cache {
             sets: (0..cfg.sets()).map(|_| Vec::new()).collect(),
             cfg,
             tick: 0,
-            touched: HashMap::new(),
+            touched: FastMap::default(),
         }
     }
 

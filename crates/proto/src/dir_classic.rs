@@ -15,7 +15,9 @@
 //! * **invalidation acks** — a store to a shared block completes only after
 //!   the requester collects an ack from every sharer.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use tss_sim::hash::FastMap;
 
 use tss_net::NodeId;
 use tss_sim::{Duration, Time};
@@ -98,8 +100,8 @@ struct Mshr {
     op: CpuOp,
     /// Data received (pre-increment value) — stores also need acks.
     data: Option<(u64, bool)>, // (value, from_cache)
-    acks_expected: Option<u32>,
-    acks_got: u32,
+    acks_expected: Option<u16>,
+    acks_got: u16,
     invalidated: bool,
     queued_fwds: VecDeque<(TxnKind, NodeId)>,
 }
@@ -108,7 +110,7 @@ struct Mshr {
 struct DirNode {
     cache: L2Cache,
     mshr: Option<Mshr>,
-    wb: HashMap<Block, VecDeque<WbEntry>>,
+    wb: FastMap<Block, VecDeque<WbEntry>>,
 }
 
 /// The DirClassic protocol engine.
@@ -130,7 +132,7 @@ struct DirNode {
 pub struct DirClassic {
     n: usize,
     nodes: Vec<DirNode>,
-    dir: HashMap<Block, DirBlock>,
+    dir: FastMap<Block, DirBlock>,
     timing: DirTiming,
     stats: ProtocolStats,
     checker: Option<ValueChecker>,
@@ -153,10 +155,10 @@ impl DirClassic {
                 .map(|_| DirNode {
                     cache: L2Cache::new(cache),
                     mshr: None,
-                    wb: HashMap::new(),
+                    wb: FastMap::default(),
                 })
                 .collect(),
-            dir: HashMap::new(),
+            dir: FastMap::default(),
             timing,
             stats: ProtocolStats::default(),
             checker: verify.then(ValueChecker::new),
@@ -185,7 +187,7 @@ impl DirClassic {
         });
     }
 
-    fn data_msg(block: Block, value: u64, acks: u32, from_cache: bool) -> Msg {
+    fn data_msg(block: Block, value: u64, acks: u16, from_cache: bool) -> Msg {
         Msg::Data {
             block,
             value,
@@ -271,7 +273,7 @@ impl DirClassic {
                     let others = s & !bit(r);
                     db.state = DirState::Exclusive(r);
                     let v = db.value;
-                    let acks = others.count_ones();
+                    let acks = others.count_ones() as u16;
                     Self::send(
                         out,
                         home,

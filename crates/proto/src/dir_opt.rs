@@ -15,7 +15,9 @@
 //!   request records a revision watermark and is served as soon as the
 //!   revisions it logically follows have landed.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use tss_sim::hash::FastMap;
 
 use tss_net::NodeId;
 use tss_sim::{Duration, Time};
@@ -67,7 +69,7 @@ struct Mshr {
 struct DirNode {
     cache: L2Cache,
     mshr: Option<Mshr>,
-    wb: HashMap<Block, VecDeque<WbEntry>>,
+    wb: FastMap<Block, VecDeque<WbEntry>>,
 }
 
 fn bit(n: NodeId) -> u64 {
@@ -92,7 +94,7 @@ fn bit(n: NodeId) -> u64 {
 pub struct DirOpt {
     n: usize,
     nodes: Vec<DirNode>,
-    dir: HashMap<Block, DirBlock>,
+    dir: FastMap<Block, DirBlock>,
     timing: DirTiming,
     stats: ProtocolStats,
     checker: Option<ValueChecker>,
@@ -111,10 +113,10 @@ impl DirOpt {
                 .map(|_| DirNode {
                     cache: L2Cache::new(cache),
                     mshr: None,
-                    wb: HashMap::new(),
+                    wb: FastMap::default(),
                 })
                 .collect(),
-            dir: HashMap::new(),
+            dir: FastMap::default(),
             timing,
             stats: ProtocolStats::default(),
             checker: verify.then(ValueChecker::new),

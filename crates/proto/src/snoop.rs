@@ -23,7 +23,9 @@
 //! fill (subsequent ones are, by the same total order, someone else's
 //! responsibility — see `drain_one_queued`).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use tss_sim::hash::FastMap;
 
 use tss_net::NodeId;
 use tss_sim::{Duration, Time};
@@ -125,7 +127,7 @@ struct SnoopNode {
     mshr: Option<Mshr>,
     /// Outstanding writebacks, FIFO per block (a block can be evicted,
     /// refetched and evicted again before the first PutM is ordered).
-    wb: HashMap<Block, VecDeque<WbEntry>>,
+    wb: FastMap<Block, VecDeque<WbEntry>>,
 }
 
 /// One entry of memory's deferred log (per block).
@@ -209,7 +211,7 @@ impl MemBlock {
 pub struct TsSnoop {
     n: usize,
     nodes: Vec<SnoopNode>,
-    mem: HashMap<Block, MemBlock>,
+    mem: FastMap<Block, MemBlock>,
     timing: SnoopTiming,
     stats: ProtocolStats,
     checker: Option<ValueChecker>,
@@ -225,10 +227,10 @@ impl TsSnoop {
                 .map(|_| SnoopNode {
                     cache: L2Cache::new(cache),
                     mshr: None,
-                    wb: HashMap::new(),
+                    wb: FastMap::default(),
                 })
                 .collect(),
-            mem: HashMap::new(),
+            mem: FastMap::default(),
             timing,
             stats: ProtocolStats::default(),
             checker: verify.then(ValueChecker::new),

@@ -101,8 +101,11 @@ pub enum Msg {
         block: Block,
         /// Block contents (the verification payload).
         value: u64,
-        /// DirClassic: invalidation acks the requester must await.
-        acks_expected: u32,
+        /// DirClassic: invalidation acks the requester must await. `u16`
+        /// — the count is bounded by the node count, which [`NodeId`]
+        /// already caps at `u16`; keeping it narrow keeps the whole
+        /// [`Msg`] within three words (see the size pin below).
+        acks_expected: u16,
         /// True when another cache (not memory) supplied the data.
         from_cache: bool,
     },
@@ -232,6 +235,22 @@ impl Msg {
         }
     }
 }
+
+// Size pins for the hot-path payloads: every `Msg` travels inside a
+// scheduled event and every `ProtoAction` through the per-dispatch
+// scratch buffer, so growing them silently taxes the whole event loop.
+// A new variant that trips one of these should be shrunk (narrow the
+// field, split the variant) or consciously re-pinned in a perf PR.
+const _: () = assert!(std::mem::size_of::<Msg>() <= 24, "Msg grew past 3 words");
+const _: () = assert!(std::mem::size_of::<AddrTxn>() <= 16, "AddrTxn grew");
+const _: () = assert!(
+    std::mem::size_of::<ProtoAction>() <= 40,
+    "ProtoAction grew past 5 words"
+);
+const _: () = assert!(
+    std::mem::size_of::<ProtoEvent>() <= 40,
+    "ProtoEvent grew past 5 words"
+);
 
 /// Which virtual network a message travels on (§4.2: TS-Snoop uses two,
 /// the directory protocols three).

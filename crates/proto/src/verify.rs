@@ -12,7 +12,7 @@
 //!   the number of stores issued to it (two simultaneous owners would lose
 //!   increments; a stale writeback would roll the value back).
 
-use std::collections::HashMap;
+use tss_sim::hash::FastMap;
 
 use tss_net::NodeId;
 
@@ -21,8 +21,8 @@ use crate::types::Block;
 /// Tracks observed values and issued stores (see module docs).
 #[derive(Debug, Default)]
 pub struct ValueChecker {
-    last_seen: HashMap<(NodeId, Block), u64>,
-    stores: HashMap<Block, u64>,
+    last_seen: FastMap<(NodeId, Block), u64>,
+    stores: FastMap<Block, u64>,
 }
 
 impl ValueChecker {

@@ -157,21 +157,23 @@ fn run_address_net(
     n: usize,
 ) -> EndpointLogs {
     let mut out: EndpointLogs = vec![Vec::new(); n];
-    let record = |out: &mut EndpointLogs, ds: Vec<AddrDelivery<u32>>| {
-        for d in ds {
+    // One reused delivery buffer, exactly like `System`'s event loop.
+    let mut ds: Vec<AddrDelivery<u32>> = Vec::new();
+    let record = |out: &mut EndpointLogs, ds: &mut Vec<AddrDelivery<u32>>| {
+        for d in ds.drain(..) {
             out[d.dest.index()].push((*d.payload, d.ordered_at.as_ns()));
         }
     };
     for &(t, src, payload) in injections {
         while let Some(at) = net.next_ready().filter(|&at| at <= Time::from_ns(t)) {
-            let ds = net.drain(at);
-            record(&mut out, ds);
+            net.drain_into(at, &mut ds);
+            record(&mut out, &mut ds);
         }
         net.inject(Time::from_ns(t), NodeId(src), payload);
     }
     while let Some(at) = net.next_ready() {
-        let ds = net.drain(at);
-        record(&mut out, ds);
+        net.drain_into(at, &mut ds);
+        record(&mut out, &mut ds);
     }
     out
 }

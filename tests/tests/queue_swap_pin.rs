@@ -1,0 +1,63 @@
+//! Byte-level pin of [`GridReport`] JSON across simulator-internals swaps.
+//!
+//! PR 4 replaces the event calendar, de-duplicates the broadcast fan-out
+//! and fast-forwards idle token waves — all of which must be *observably
+//! invisible*: the same seed has to produce the same report, byte for
+//! byte. This test pins a small but representative grid (all three
+//! protocols, both address-network models, a multi-plane fabric,
+//! perturbation jitter on) against a fixture generated before the swap.
+//!
+//! If a future PR changes results *intentionally* (new timing model,
+//! schema bump), regenerate the fixture and say so in the PR:
+//!
+//! ```sh
+//! cargo test -p tss-tests --test queue_swap_pin -- --ignored regenerate
+//! ```
+
+use std::path::PathBuf;
+
+use tss::experiment::{ExperimentGrid, GridReport};
+use tss::{NetworkModelSpec, ProtocolKind, TopologyKind};
+use tss_workloads::paper;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/grid_pin.json")
+}
+
+/// The pinned configuration: small enough for CI, wide enough to cross
+/// every hot path the queue swap touches (fast closed form, detailed
+/// token net on a single-plane torus and the four-plane butterfly,
+/// directory protocols with no address net at all, §4.3 jitter).
+fn pin_grid() -> GridReport {
+    ExperimentGrid::new("queue-swap-pin")
+        .protocols(ProtocolKind::ALL)
+        .topologies([TopologyKind::Torus4x4, TopologyKind::Butterfly16])
+        .nets([NetworkModelSpec::Fast, NetworkModelSpec::detailed(5)])
+        .workloads(vec![paper::barnes(0.002)])
+        .seeds([0])
+        .perturbation(4, 2)
+        .run()
+        .expect("pin grid is valid")
+}
+
+#[test]
+fn grid_report_bytes_are_pinned() {
+    let fixture = std::fs::read_to_string(fixture_path())
+        .expect("fixture missing: run the ignored `regenerate` test and commit the file");
+    let fresh = pin_grid().to_json() + "\n";
+    assert!(
+        fresh == fixture,
+        "GridReport bytes drifted from the committed fixture — the simulator \
+         is no longer result-identical for the same seed. If the change is \
+         intentional, regenerate tests/fixtures/grid_pin.json (see module docs)."
+    );
+}
+
+/// Writes the fixture. Ignored so CI never overwrites the pin; run it by
+/// hand only when a result change is intentional.
+#[test]
+#[ignore = "regenerates the pin fixture; run manually"]
+fn regenerate() {
+    let report = pin_grid();
+    report.write_json(fixture_path()).expect("write fixture");
+}
