@@ -29,7 +29,20 @@ fn main() {
         cli.seed,
         cli.seeds,
     );
+    if cli.shard.1 > 1 {
+        eprintln!(
+            "shard {}/{}: this process runs every {}th cell only",
+            cli.shard.0, cli.shard.1, cli.shard.1
+        );
+    }
     let report = cli.run_grid(grid);
+    if cli.resume.is_some() {
+        eprintln!(
+            "cell store served {}/{} cells",
+            report.cached_cells(),
+            report.cells.len()
+        );
+    }
     println!(
         "{:<10} {:<12} {:<12} {:>12} {:>8} {:>14} {:>8} {:>6}",
         "workload", "topology", "protocol", "runtime", "vs TS", "link-bytes", "vs TS", "c2c"

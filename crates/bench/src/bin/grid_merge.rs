@@ -1,0 +1,99 @@
+//! `grid-merge` — reassembles a sharded sweep into the canonical grid
+//! artifact.
+//!
+//! Each `--shard I/N` invocation of a bench binary emits a *partial*
+//! `GridReport` holding its round-robin slice of the cells. This binary
+//! validates that a set of parts belongs to the same grid, covers every
+//! shard exactly once, and holds exactly the cells each shard stamp
+//! implies — then interleaves them back into grid order. The merged
+//! output is **byte-identical** to what a single-process run of the same
+//! grid would have written (asserted in `tests/tests/resume_shard.rs` and
+//! by the CI merge job), so sharding is invisible downstream.
+//!
+//! ```sh
+//! grid --shard 0/3 --json part-0.json   # } run anywhere, in any order,
+//! grid --shard 1/3 --json part-1.json   # } on any mix of machines
+//! grid --shard 2/3 --json part-2.json
+//! grid-merge part-0.json part-1.json part-2.json --json merged.json
+//! ```
+
+use std::path::PathBuf;
+
+use tss::experiment::GridReport;
+
+const USAGE: &str = "\
+usage: grid-merge <part.json>... [--json <path>]
+
+Validates and merges the partial GridReports produced by `--shard I/N`
+runs (any order) into the complete grid artifact, written to --json or
+printed to stdout.";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut part_paths: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--json" => {
+                let Some(path) = args.get(i + 1) else {
+                    fail("--json needs a value");
+                };
+                out = Some(PathBuf::from(path));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown option {flag}")),
+            path => {
+                part_paths.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    if part_paths.is_empty() {
+        fail("no partial reports given");
+    }
+
+    let mut parts = Vec::with_capacity(part_paths.len());
+    for path in &part_paths {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+        let part = GridReport::from_json(&text)
+            .unwrap_or_else(|e| fail(&format!("cannot parse {}: {e}", path.display())));
+        eprintln!(
+            "  {}: shard {} of grid '{}', {} cells ({} cached)",
+            path.display(),
+            part.shard,
+            part.name,
+            part.cells.len(),
+            part.cached_cells(),
+        );
+        parts.push(part);
+    }
+
+    let merged =
+        GridReport::merge(parts).unwrap_or_else(|e| fail(&format!("parts do not merge: {e}")));
+    eprintln!(
+        "merged {} parts into grid '{}': {} cells",
+        part_paths.len(),
+        merged.name,
+        merged.cells.len()
+    );
+    match out {
+        Some(path) => {
+            merged
+                .write_json(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+            println!("wrote {}", path.display());
+        }
+        None => println!("{}", merged.to_json()),
+    }
+}

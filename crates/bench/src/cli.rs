@@ -33,6 +33,12 @@ pub struct Cli {
     /// Address-network model (default: the closed-form fast model; see
     /// `--net` / `--contention`).
     pub net: NetworkModelSpec,
+    /// Cell-store directory for `--resume`: finished cells are reused,
+    /// fresh ones written back (kill-and-resume for long sweeps).
+    pub resume: Option<PathBuf>,
+    /// `--shard I/N`: run only this round-robin partition of each grid,
+    /// emitting a partial report for `grid-merge`. `(0, 1)` = everything.
+    pub shard: (u32, u32),
     /// Where to write the run's [`GridReport`] JSON, if anywhere.
     pub json: Option<PathBuf>,
 }
@@ -48,6 +54,8 @@ impl Default for Cli {
             topologies: TopologyKind::PAPER.to_vec(),
             workloads: None,
             net: NetworkModelSpec::Fast,
+            resume: None,
+            shard: (0, 1),
             json: None,
         }
     }
@@ -68,6 +76,14 @@ options:
   --contention <ns>   link occupancy in ns; implies --net detailed
                       (0 = unloaded detailed run; TS-Snoop cells only,
                       expect runs several times slower than --net fast)
+  --resume <dir>      content-addressed cell store: reuse finished cells,
+                      write new ones back (a killed sweep resumes where
+                      it stopped; the final artifact is byte-identical)
+  --shard <i>/<n>     run only cells at grid index = i (mod n) and emit a
+                      partial report (needs --json or --resume);
+                      reassemble with grid-merge. Single-grid binaries
+                      only; composite ones (latency, table2, ablations,
+                      contention) reject it
   --json <path>       write the run's GridReport JSON artifact
   --help              print this message";
 
@@ -156,6 +172,15 @@ impl Cli {
                             .map_err(|_| format!("bad --contention {value:?}"))?,
                     );
                 }
+                "--resume" => cli.resume = Some(PathBuf::from(value)),
+                "--shard" => {
+                    let parsed = value
+                        .split_once('/')
+                        .and_then(|(i, n)| Some((i.parse::<u32>().ok()?, n.parse::<u32>().ok()?)));
+                    cli.shard = parsed
+                        .filter(|(i, n)| *n > 0 && i < n)
+                        .ok_or_else(|| format!("--shard wants I/N with I < N, got {value:?}"))?;
+                }
                 "--json" => cli.json = Some(PathBuf::from(value)),
                 other => {
                     return Err(format!("unknown option {other}"));
@@ -190,7 +215,44 @@ impl Cli {
         };
         // Surface bad workload names at parse time, not after a sweep.
         cli.paper_workloads()?;
+        // A sharded run that writes neither a partial report nor a cell
+        // store would simulate its slice and throw the results away.
+        if cli.shard.1 > 1 && cli.json.is_none() && cli.resume.is_none() {
+            return Err(
+                "--shard needs --json <path> (the partial report is grid-merge's \
+                 input) or --resume <dir> (to warm a shared cell store)"
+                    .into(),
+            );
+        }
         Ok(cli)
+    }
+
+    /// Aborts (exit 2) when `--shard` was given to a binary whose report
+    /// is assembled from multiple grids or hand-measured cells: such a
+    /// composite is not one round-robin slice of one grid, so its parts
+    /// could neither merge nor safely pose as complete reports.
+    pub fn forbid_shard(&self, bin: &str) {
+        if self.shard.1 > 1 {
+            eprintln!(
+                "error: {bin} assembles a composite report that cannot be sharded; \
+                 use the single-grid binaries (grid, fig3, fig4, scaling, table3, \
+                 bandwidth_bound) with --shard, or run {bin} unsharded"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    /// Aborts (exit 2) when `--resume` was given to a binary that runs
+    /// its cells outside [`Cli::grid`]: silently ignoring the flag would
+    /// let the user believe finished work was being cached.
+    pub fn forbid_resume(&self, bin: &str) {
+        if self.resume.is_some() {
+            eprintln!(
+                "error: {bin} measures its cells outside the experiment grid, so \
+                 --resume has nothing to cache; drop the flag"
+            );
+            std::process::exit(2);
+        }
     }
 
     /// The paper workloads selected by `--workloads`, at `--scale`, in
@@ -223,7 +285,7 @@ impl Cli {
     /// selection; override with [`ExperimentGrid::workloads`] afterwards
     /// for binaries with a fixed workload.
     pub fn grid(&self, name: &str) -> ExperimentGrid {
-        ExperimentGrid::new(name)
+        let mut grid = ExperimentGrid::new(name)
             .protocols(self.protocols.iter().copied())
             .topologies(self.topologies.iter().copied())
             .nets([self.net])
@@ -233,6 +295,11 @@ impl Cli {
             )
             .seeds([self.seed])
             .perturbation(self.perturbation_ns, self.seeds)
+            .shard(self.shard.0, self.shard.1);
+        if let Some(dir) = &self.resume {
+            grid = grid.resume(dir);
+        }
+        grid
     }
 
     /// Runs a grid, reporting an invalid configuration (e.g. a degenerate
@@ -244,9 +311,11 @@ impl Cli {
         })
     }
 
-    /// Writes the report to `--json` (if given) and always mirrors it to
-    /// `results/<name>.json` for EXPERIMENTS.md bookkeeping; IO errors on
-    /// the mirror are ignored, errors on an explicit `--json` path abort.
+    /// Writes the report to `--json` (if given) and mirrors *complete*
+    /// reports to `results/<name>.json` for EXPERIMENTS.md bookkeeping —
+    /// a `--shard` part must never overwrite the canonical committed
+    /// artifact. IO errors on the mirror are ignored, errors on an
+    /// explicit `--json` path abort.
     pub fn emit(&self, report: &GridReport) {
         if let Some(path) = &self.json {
             report.write_json(path).unwrap_or_else(|e| {
@@ -255,7 +324,9 @@ impl Cli {
             });
             println!("\nwrote {}", path.display());
         }
-        let _ = report.write_json(format!("results/{}.json", report.name));
+        if report.is_complete() {
+            let _ = report.write_json(format!("results/{}.json", report.name));
+        }
     }
 }
 
@@ -349,6 +420,60 @@ mod tests {
         assert!(Cli::parse_from(&args(&["--net", "fast", "--contention", "5"])).is_err());
         assert!(Cli::parse_from(&args(&["--net", "slow"])).is_err());
         assert!(Cli::parse_from(&args(&["--contention", "x"])).is_err());
+    }
+
+    #[test]
+    fn resume_and_shard_flags_parse() {
+        let cli = Cli::parse_from(&[]).unwrap();
+        assert_eq!(cli.shard, (0, 1));
+        assert!(cli.resume.is_none());
+
+        let cli = Cli::parse_from(&args(&["--shard", "2/3", "--resume", "/tmp/cells"])).unwrap();
+        assert_eq!(cli.shard, (2, 3));
+        assert_eq!(
+            cli.resume.as_deref(),
+            Some(std::path::Path::new("/tmp/cells"))
+        );
+
+        for bad in ["3/3", "1/0", "2", "a/b", "-1/3", "1/3/5"] {
+            assert!(
+                Cli::parse_from(&args(&["--shard", bad])).is_err(),
+                "--shard {bad:?} should be rejected"
+            );
+        }
+
+        // A shard whose output goes nowhere is wasted simulation.
+        let err = Cli::parse_from(&args(&["--shard", "0/2"])).unwrap_err();
+        assert!(err.contains("--json"), "{err}");
+        assert!(Cli::parse_from(&args(&["--shard", "0/2", "--json", "p.json"])).is_ok());
+        assert!(Cli::parse_from(&args(&["--shard", "0/2", "--resume", "/tmp/c"])).is_ok());
+    }
+
+    #[test]
+    fn sharded_grid_emits_a_partial_report() {
+        let cli = Cli::parse_from(&args(&[
+            "--workloads",
+            "barnes",
+            "--scale",
+            "0.001",
+            "--seeds",
+            "1",
+            "--topologies",
+            "torus",
+            "--shard",
+            "1/3",
+            "--json",
+            "/tmp/unused-part.json", // required with --shard; not written here
+        ]))
+        .unwrap();
+        let report = cli.grid("cli-shard-unit").run().unwrap();
+        assert!(!report.is_complete());
+        assert_eq!(report.shard.index, 1);
+        assert_eq!(report.shard.total, 3);
+        // 3 cells total (one workload x one topology x three protocols);
+        // shard 1 of 3 holds exactly the middle one.
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].protocol, ProtocolKind::DirClassic);
     }
 
     #[test]

@@ -17,13 +17,21 @@
 //! | `grid` | fully declarative runner: every axis from the command line |
 //! | `contention` | detailed-token-network sweep: link occupancy × initial slack vs the fast model |
 //! | `perf` | simulator hot-path benchmarks → `BENCH_hotpath.json` (the perf trajectory; own CLI, see its docs) |
+//! | `grid-merge` | reassembles `--shard I/N` partial reports into the canonical grid artifact |
 //!
 //! All binaries share one CLI ([`Cli`]): `--scale`, `--seeds`,
 //! `--perturbation`, `--seed`, plus the grid filters `--protocols`,
 //! `--topologies`, `--workloads`, the address-network model selector
-//! `--net fast|detailed` / `--contention <ns>`, and `--json <path>` to
-//! write the run's [`GridReport`](tss::experiment::GridReport) artifact.
-//! They construct systems exclusively through [`tss::SystemBuilder`] /
+//! `--net fast|detailed` / `--contention <ns>`, the resume/sharding
+//! layer `--resume <dir>` / `--shard I/N` (content-addressed cell reuse
+//! and round-robin grid partitioning — every single-grid binary gets
+//! both for free; the composite binaries `latency`, `table2` and
+//! `ablations` measure cells outside the grid and *reject* the flags
+//! rather than ignore them, and `contention` takes `--resume` but not
+//! `--shard` — see [`Cli::forbid_shard`]/[`Cli::forbid_resume`]),
+//! and `--json <path>` to write the run's
+//! [`GridReport`](tss::experiment::GridReport) artifact. They construct
+//! systems exclusively through [`tss::SystemBuilder`] /
 //! [`tss::experiment::ExperimentGrid`].
 
 #![forbid(unsafe_code)]

@@ -1,0 +1,235 @@
+//! The content-addressed cell store behind grid resume and sharding.
+//!
+//! A [`CellStore`] is a plain directory of one JSON file per finished
+//! grid cell, named by the cell's [`CellKey`] — the 128-bit fingerprint
+//! of everything that determines the cell's result (see
+//! [`crate::experiment::CellKey`]). Because a cell is a pure function of
+//! its key, the store needs no index, no locking and no invalidation
+//! protocol: a hit *is* the result, a miss means "simulate it", and two
+//! processes racing on the same key atomically write the same bytes.
+//!
+//! Durability rules:
+//!
+//! * **Atomic writes** — entries are written to a temporary file in the
+//!   store directory and `rename`d into place, so a killed sweep never
+//!   leaves a half-written entry a resume could trip over.
+//! * **Corrupt-entry tolerance** — [`CellStore::load`] treats anything it
+//!   cannot fully parse and validate (truncated JSON, foreign files, a
+//!   schema from a different build, a key mismatch) as a miss; the cell
+//!   is re-simulated and the entry overwritten. A store can therefore be
+//!   shared, copied around, or hand-pruned with `rm` at any time.
+//! * **Schema-stamped entries** — each file records the
+//!   [`GridReport`](crate::experiment::GridReport) schema it was written
+//!   under; entries from other schema versions are misses, so a format
+//!   change can never deserialize garbage. (Result-changing *code*
+//!   changes are handled by the [`crate::experiment::CELL_REV`] salt
+//!   inside the key itself.)
+//!
+//! ```no_run
+//! use tss::cellstore::CellStore;
+//! use tss::experiment::ExperimentGrid;
+//! use tss_workloads::paper;
+//!
+//! // First run populates /tmp/cells; a re-run (or a killed-and-restarted
+//! // run) loads every finished cell instead of simulating it.
+//! let report = ExperimentGrid::new("sweep")
+//!     .workloads(paper::all(1.0 / 64.0))
+//!     .resume("/tmp/cells")
+//!     .run()
+//!     .expect("valid grid");
+//! assert!(report.cached_cells() <= report.cells.len());
+//! let store = CellStore::open("/tmp/cells").expect("store dir");
+//! assert!(store.load(report.cells[0].cell_key.expect("grid cells are keyed")).is_some());
+//! ```
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::experiment::{CellKey, RunReport, SCHEMA_VERSION};
+
+/// A directory of per-cell JSON entries keyed by [`CellKey`]. See the
+/// module docs for the durability rules.
+#[derive(Debug, Clone)]
+pub struct CellStore {
+    dir: PathBuf,
+}
+
+impl CellStore {
+    /// Opens (creating if necessary) the store directory, sweeping out
+    /// temp files left by writers that died between write and rename —
+    /// otherwise repeated kill-and-resume cycles (the store's whole
+    /// reason to exist) would accumulate orphans forever. If another
+    /// process is mid-write at this instant its temp file may be swept
+    /// too; its `rename` then fails and that one cell simply is not
+    /// cached this round — the same best-effort contract as any other
+    /// store write.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<CellStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with('.') && name.contains(".tmp-") {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(CellStore { dir })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where `key`'s entry lives (whether or not it exists yet).
+    pub fn entry_path(&self, key: CellKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.to_hex()))
+    }
+
+    /// Loads the cell stored under `key`, or `None` on a miss — where
+    /// "miss" includes every flavour of unusable entry: missing file,
+    /// unparsable JSON, wrong entry schema, or an embedded key that does
+    /// not match the filename's. Corruption is never an error, just work
+    /// to redo.
+    pub fn load(&self, key: CellKey) -> Option<RunReport> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+        if value.get("schema") != Some(&serde_json::Value::U64(u64::from(SCHEMA_VERSION))) {
+            return None;
+        }
+        let cell: RunReport = serde_json::from_value(value.get("cell")?).ok()?;
+        if cell.cell_key != Some(key) {
+            return None;
+        }
+        Some(cell)
+    }
+
+    /// Writes `cell` under `key`, atomically: the entry is complete and
+    /// valid the instant it appears, even if this process dies mid-write.
+    pub fn store(&self, key: CellKey, cell: &RunReport) -> io::Result<()> {
+        let envelope = serde_json::Value::Object(vec![
+            (
+                "schema".into(),
+                serde_json::Value::U64(u64::from(SCHEMA_VERSION)),
+            ),
+            ("cell".into(), serde_json::to_value(cell)),
+        ]);
+        let text =
+            serde_json::to_string_pretty(&envelope).expect("value rendering is infallible") + "\n";
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp-{}", key.to_hex(), std::process::id()));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, self.entry_path(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProtocolKind, SystemConfig, TopologyKind};
+    use crate::experiment::RunReport;
+    use tss_workloads::paper;
+
+    fn temp_store(tag: &str) -> CellStore {
+        let dir = std::env::temp_dir().join(format!("tss-cellstore-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        CellStore::open(dir).expect("temp store")
+    }
+
+    fn sample_cell() -> (CellKey, RunReport) {
+        let cfg = SystemConfig::test_default(ProtocolKind::TsSnoop, TopologyKind::Torus4x4);
+        let spec = paper::barnes(0.0005);
+        let key = CellKey::compute(&cfg, &spec, 1);
+        let result = crate::System::run_workload(cfg.clone(), &spec);
+        let mut cell = RunReport::from_stats(spec.name.clone(), &cfg, 1, result.stats);
+        cell.cell_key = Some(key);
+        (key, cell)
+    }
+
+    #[test]
+    fn store_round_trips_a_cell() {
+        let store = temp_store("roundtrip");
+        let (key, cell) = sample_cell();
+        assert!(store.load(key).is_none(), "empty store misses");
+        store.store(key, &cell).unwrap();
+        let back = store.load(key).expect("stored cell loads");
+        assert_eq!(back.cell_key, Some(key));
+        assert_eq!(back.workload, cell.workload);
+        assert_eq!(back.stats.runtime, cell.stats.runtime);
+        assert_eq!(back.stats.protocol.misses, cell.stats.protocol.misses);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_wrong_schema_and_mismatched_entries_are_misses() {
+        let store = temp_store("corrupt");
+        let (key, cell) = sample_cell();
+        store.store(key, &cell).unwrap();
+
+        // Truncated JSON.
+        let text = std::fs::read_to_string(store.entry_path(key)).unwrap();
+        std::fs::write(store.entry_path(key), &text[..text.len() / 2]).unwrap();
+        assert!(store.load(key).is_none(), "truncation tolerated as a miss");
+
+        // Wrong entry schema.
+        let stale = text.replace(
+            &format!("\"schema\": {SCHEMA_VERSION}"),
+            "\"schema\": 99999",
+        );
+        assert_ne!(stale, text);
+        std::fs::write(store.entry_path(key), stale).unwrap();
+        assert!(store.load(key).is_none(), "foreign schema is a miss");
+
+        // Entry stored under a filename that is not its own key.
+        let mut other = cell.clone();
+        other.cell_key = Some(CellKey::compute(
+            &SystemConfig::test_default(ProtocolKind::DirOpt, TopologyKind::Butterfly16),
+            &paper::dss(0.0005),
+            1,
+        ));
+        std::fs::write(store.entry_path(key), text).unwrap(); // restore valid
+        assert!(store.load(key).is_some());
+        store.store(key, &other).unwrap(); // embedded key disagrees
+        assert!(store.load(key).is_none(), "key mismatch is a miss");
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn entries_are_files_named_by_key() {
+        let store = temp_store("naming");
+        let (key, cell) = sample_cell();
+        store.store(key, &cell).unwrap();
+        let path = store.entry_path(key);
+        assert!(path.exists());
+        assert_eq!(
+            path.file_name().unwrap().to_string_lossy(),
+            format!("{}.json", key.to_hex())
+        );
+        // No stray temp files survive a successful store.
+        let strays: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with('.'))
+            .collect();
+        assert!(strays.is_empty(), "{strays:?}");
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn reopening_sweeps_orphaned_temp_files_but_not_entries() {
+        let store = temp_store("orphans");
+        let (key, cell) = sample_cell();
+        store.store(key, &cell).unwrap();
+        // A writer that died between write and rename.
+        let orphan = store.dir().join(format!(".{}.tmp-99999", key.to_hex()));
+        std::fs::write(&orphan, "half-written").unwrap();
+
+        let reopened = CellStore::open(store.dir()).unwrap();
+        assert!(!orphan.exists(), "orphaned temp file swept on open");
+        assert!(reopened.load(key).is_some(), "real entries survive");
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+}

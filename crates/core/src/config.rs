@@ -470,6 +470,22 @@ pub enum ConfigError {
     },
     /// The §4.3 methodology needs at least one perturbation run.
     ZeroPerturbationRuns,
+    /// A grid shard request that cannot partition the cell list:
+    /// `total == 0`, or `index >= total`.
+    BadShard {
+        /// Requested shard index.
+        index: u32,
+        /// Requested partition count.
+        total: u32,
+    },
+    /// The cell-store directory behind `ExperimentGrid::resume` could not
+    /// be opened or created.
+    BadResumeDir {
+        /// The directory that failed.
+        path: String,
+        /// The underlying IO error.
+        reason: String,
+    },
     /// A [`NetworkModelSpec`] the detailed token network cannot honour
     /// (zero link latency, contention without slack headroom, zero
     /// buffer provisioning).
@@ -515,6 +531,16 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroPerturbationRuns => {
                 f.write_str("the §4.3 methodology needs at least one perturbation run")
+            }
+            ConfigError::BadShard { index, total } => {
+                write!(
+                    f,
+                    "shard {index}/{total} cannot partition the grid: need total >= 1 \
+                     and index < total"
+                )
+            }
+            ConfigError::BadResumeDir { path, reason } => {
+                write!(f, "cannot open cell store {path:?}: {reason}")
             }
             ConfigError::BadNetworkModel { reason } => {
                 write!(f, "bad network model: {reason}")

@@ -68,6 +68,7 @@
 pub mod address_net;
 pub mod analytic;
 mod builder;
+pub mod cellstore;
 mod config;
 mod cpu;
 pub mod experiment;
@@ -75,7 +76,8 @@ pub mod methodology;
 mod system;
 
 pub use builder::SystemBuilder;
+pub use cellstore::CellStore;
 pub use config::{ConfigError, NetworkModelSpec, ProtocolKind, SystemConfig, Timing, TopologyKind};
 pub use cpu::Cpu;
-pub use experiment::{ExperimentGrid, GridReport, RunReport};
+pub use experiment::{CellKey, ExperimentGrid, GridReport, MergeError, RunReport, ShardSpec};
 pub use system::{RunResult, System, SystemStats, TrafficSummary};

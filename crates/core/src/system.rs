@@ -121,6 +121,11 @@ pub struct RunResult {
 /// [`SystemStats::events_processed`].)
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HostPerf {
+    /// Total simulator events this run processed — a convenience mirror
+    /// of [`SystemStats::events_processed`] on the host-side counter
+    /// block, so perf tooling (and tests asserting that cached grid
+    /// cells were *not* re-executed) can read everything from one place.
+    pub events: u64,
     /// Event-loop iterations whose action buffer was served from the
     /// retained scratch allocation (i.e. heap allocations avoided by
     /// reusing one `Vec<ProtoAction>` across dispatches).
@@ -432,10 +437,12 @@ impl System {
             miss_latency_per_node: self.miss_latency_per_node,
             events_processed: self.events.events_processed(),
         };
+        let events = stats.events_processed;
         RunResult {
             stats,
             observations: self.observations,
             perf: HostPerf {
+                events,
                 action_allocs_avoided: allocs_avoided,
                 waves_skipped: self.addr.as_ref().map_or(0, |a| a.waves_skipped()),
             },

@@ -31,6 +31,37 @@ pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+/// A 128-bit content fingerprint of a byte stream: two independent
+/// [`FxHasher`] passes (the second salted and length-mixed) packed into
+/// one `u128`.
+///
+/// This is what gives experiment cells their content address (`CellKey`
+/// in `tss::experiment`): deterministic across runs, platforms and
+/// processes — like every hash in this module — and wide enough that
+/// accidental collisions between distinct cell configurations are not a
+/// practical concern (two weakly-mixed 64-bit halves still collide only
+/// when *both* collide on the same input pair). It is **not**
+/// cryptographic: nothing here defends against adversarial inputs, which
+/// a local simulation cache never sees.
+///
+/// ```
+/// use tss_sim::hash::fingerprint128;
+///
+/// assert_eq!(fingerprint128(b"cell"), fingerprint128(b"cell"));
+/// assert_ne!(fingerprint128(b"cell"), fingerprint128(b"cell!"));
+/// ```
+pub fn fingerprint128(bytes: &[u8]) -> u128 {
+    let mut lo = FxHasher::default();
+    lo.write(bytes);
+    let mut hi = FxHasher::default();
+    // Salt + trailing length mix decorrelate the second pass from the
+    // first, so the halves do not cancel jointly.
+    hi.write_u64(0x9e37_79b9_7f4a_7c15);
+    hi.write(bytes);
+    hi.write_u64(bytes.len() as u64);
+    (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
+}
+
 /// The FxHash mixing function: rotate, xor, multiply by a large odd
 /// constant. Far weaker than SipHash against adversarial keys, far
 /// faster for the small integer keys the simulator uses.
@@ -109,6 +140,17 @@ mod tests {
         let mut s: FastSet<u64> = FastSet::default();
         assert!(s.insert(9));
         assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn fingerprint_is_wide_deterministic_and_sensitive() {
+        let a = fingerprint128(b"protocol=TsSnoop,seed=0");
+        assert_eq!(a, fingerprint128(b"protocol=TsSnoop,seed=0"));
+        assert_ne!(a, fingerprint128(b"protocol=TsSnoop,seed=1"));
+        // The two halves are independent mixes, not copies.
+        assert_ne!((a >> 64) as u64, a as u64);
+        // Length is part of the identity (zero-padding cannot alias).
+        assert_ne!(fingerprint128(b"ab"), fingerprint128(b"ab\0"));
     }
 
     #[test]

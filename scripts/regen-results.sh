@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every committed artifact under results/ from the exact
+# commands that own them, so the files cannot silently drift from the
+# code that produced them. CI re-runs this script and fails on any diff
+# (`git diff --exit-code -- results/`); regenerate + commit when a result
+# change is intentional, and say so in the PR.
+#
+# Usage:
+#   scripts/regen-results.sh               # builds release binaries first
+#   BIN=target/release scripts/regen-results.sh   # use prebuilt binaries
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -z "${BIN:-}" ]; then
+    cargo build --release -p tss-bench
+    BIN=target/release
+fi
+
+# results/fig3.json — the paper's Figure 3 grid at default scale/methodology.
+"$BIN/fig3" --json results/fig3.json
+
+# results/grid.json — the full five-workload grid through the detailed
+# token network at 5 ns link occupancy (the beyond-the-paper headline run).
+"$BIN/grid" --contention 5 --json results/grid.json
+
+# results/contention.json — the occupancy x slack sweep vs the fast
+# baseline on the torus, single perturbation run (the sweep is
+# contention-dominated).
+"$BIN/contention" --seeds 1 --topologies torus --json results/contention.json
+
+echo "regenerated: results/fig3.json results/grid.json results/contention.json"

@@ -130,19 +130,54 @@ fn report_round_trips_through_serde_json() {
 }
 
 #[test]
-fn v1_reports_migrate_forward_to_the_current_schema() {
-    // Fabricate a genuine v1 document: schema 2 is exactly schema 1 plus
-    // the network-model axis, so stripping those fields and restamping
-    // reproduces what PR 2 wrote to disk.
+fn v1_and_v2_reports_migrate_forward_to_the_current_schema() {
     let report = tiny_grid(3).run().unwrap();
-    let v2 = report.to_json();
+    let v3 = report.to_json();
+    // What any migration can reconstruct: everything except the cell
+    // keys, which hash configuration details (full workload spec, cache
+    // geometry, timing) a serialized cell does not carry.
+    let mut keyless = report.clone();
+    for c in &mut keyless.cells {
+        c.cell_key = None;
+    }
+    let v3_keyless = keyless.to_json();
+
+    // Fabricate a genuine v2 document: schema 3 is exactly schema 2 plus
+    // the shard stamp and the per-cell cell_key/cached fields, so
+    // stripping those and restamping reproduces what PR 3/4 wrote.
+    let v2: String = v3
+        .replace("\"schema\": 3", "\"schema\": 2")
+        .replace(
+            "  \"shard\": {\n    \"index\": 0,\n    \"total\": 1\n  },\n",
+            "",
+        )
+        .replace("      \"cached\": false,\n", "")
+        .lines()
+        .filter(|l| !l.contains("\"cell_key\""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(v2, v3, "the v2 fixture must actually drop the new fields");
+    for gone in ["shard", "cell_key", "cached"] {
+        assert!(!v2.contains(gone), "v2 fixture still mentions {gone:?}");
+    }
+
+    let migrated = GridReport::from_json(&v2).expect("v2 documents stay loadable");
+    assert_eq!(migrated.schema, SCHEMA_VERSION);
+    assert!(migrated.is_complete(), "v2 runs were never sharded");
+    assert!(migrated.cells.iter().all(|c| c.cell_key.is_none()));
+    assert!(migrated.cells.iter().all(|c| !c.cached));
+    // Migration fills the fields at their canonical positions, so the
+    // round trip lands byte-for-byte on the keyless v3 rendering.
+    assert_eq!(migrated.to_json(), v3_keyless);
+
+    // And a genuine v1 document (pre network-model axis) chains through
+    // both migrations. tiny_grid runs the fast model, which is exactly
+    // what the v1→v2 arm fills in.
     let v1 = v2
         .replace("\"schema\": 2", "\"schema\": 1")
         .replace("  \"nets\": [\n    \"fast\"\n  ],\n", "")
         .replace("      \"net\": \"fast\",\n", "");
-    assert_ne!(v1, v2, "the v1 fixture must actually drop the new fields");
-    assert!(!v1.contains("net"), "fixture still mentions the new axis");
-
+    assert!(!v1.contains("net"), "v1 fixture still mentions the axis");
     let migrated = GridReport::from_json(&v1).expect("v1 documents stay loadable");
     assert_eq!(migrated.schema, SCHEMA_VERSION);
     assert_eq!(migrated.nets, vec![NetworkModelSpec::Fast]);
@@ -150,12 +185,10 @@ fn v1_reports_migrate_forward_to_the_current_schema() {
         .cells
         .iter()
         .all(|c| c.net == NetworkModelSpec::Fast));
-    // Migration fills the fields at their canonical positions, so the
-    // round trip lands byte-for-byte on the v2 rendering.
-    assert_eq!(migrated.to_json(), v2);
+    assert_eq!(migrated.to_json(), v3_keyless);
 
     // Unknown future schemas are refused, not guessed at.
-    let v99 = v2.replace("\"schema\": 2", "\"schema\": 99");
+    let v99 = v3.replace("\"schema\": 3", "\"schema\": 99");
     let err = GridReport::from_json(&v99).unwrap_err();
     assert!(err.to_string().contains("unsupported"), "{err}");
 }

@@ -1,0 +1,217 @@
+//! Integration tests for content-addressed cells: kill-and-resume via the
+//! `CellStore`, round-robin sharding, and `GridReport::merge` — the
+//! acceptance bar is byte-identity with a single-process cold run.
+
+use std::path::PathBuf;
+
+use tss::cellstore::CellStore;
+use tss::experiment::{ExperimentGrid, GridReport};
+use tss::{ProtocolKind, TopologyKind};
+use tss_proto::CacheConfig;
+use tss_sim::rng::SimRng;
+use tss_workloads::paper;
+
+/// A small but multi-axis grid: 2 workloads × 1 topology × 3 protocols ×
+/// 2 seeds = 12 cells, perturbation on.
+fn grid() -> ExperimentGrid {
+    ExperimentGrid::new("resume-shard-test")
+        .workloads(vec![paper::barnes(0.001), paper::dss(0.001)])
+        .topologies([TopologyKind::Torus4x4])
+        .seeds([1, 2])
+        .cache(CacheConfig::tiny(1024, 4))
+        .perturbation(3, 2)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tss-resume-shard-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+// --------------------------------------------------------------- resume
+
+#[test]
+fn kill_and_resume_skips_finished_cells_and_reproduces_the_cold_bytes() {
+    let dir = temp_dir("kill-resume");
+    let cold = grid().run().unwrap();
+    let cold_json = cold.to_json();
+
+    // "Kill" a sweep halfway: run only shard 0/2 into the store, exactly
+    // what a real killed run leaves behind (finished cells on disk,
+    // nothing else).
+    let half = grid().resume(&dir).shard(0, 2).run().unwrap();
+    assert_eq!(half.cells.len(), cold.cells.len() / 2);
+    assert_eq!(half.cached_cells(), 0);
+
+    // Resume the full grid against the same store: the finished half is
+    // served from disk, the rest is simulated, and the final artifact is
+    // byte-identical to the uninterrupted run.
+    let resumed = grid().resume(&dir).run().unwrap();
+    assert_eq!(resumed.cached_cells(), cold.cells.len() / 2);
+    for (j, cell) in resumed.cells.iter().enumerate() {
+        assert_eq!(
+            cell.cached,
+            j % 2 == 0,
+            "exactly the killed run's shard must come back cached (cell {j})"
+        );
+        assert!(cell.cell_key.is_some(), "grid cells carry their identity");
+    }
+    assert_eq!(
+        resumed.to_json(),
+        cold_json,
+        "a resumed run must write the exact bytes of a cold run"
+    );
+
+    // A second resume is fully cached and still byte-identical.
+    let warm = grid().resume(&dir).run().unwrap();
+    assert_eq!(warm.cached_cells(), cold.cells.len());
+    assert_eq!(warm.to_json(), cold_json);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cached_cells_are_served_from_the_store_not_resimulated() {
+    let dir = temp_dir("poison");
+    let first = grid().resume(&dir).run().unwrap();
+
+    // Poison one stored cell with an impossible runtime. If a resumed run
+    // re-simulated the cell, the poison would be overwritten by the real
+    // measurement; serving the poisoned stats back proves the simulator
+    // never ran. (`RunResult::perf.events` counts a real run's events —
+    // a cell that never runs contributes none, hence no new entry.)
+    let store = CellStore::open(&dir).unwrap();
+    let victim = &first.cells[3];
+    let key = victim.cell_key.expect("grid cells are keyed");
+    let real_runtime = victim.stats.runtime.as_ns();
+    let poisoned_runtime = real_runtime + 123_456_789;
+    let entry = std::fs::read_to_string(store.entry_path(key)).unwrap();
+    let poisoned = entry.replace(
+        &format!("\"runtime\": {real_runtime}"),
+        &format!("\"runtime\": {poisoned_runtime}"),
+    );
+    assert_ne!(entry, poisoned, "the poison must actually land");
+    std::fs::write(store.entry_path(key), poisoned).unwrap();
+
+    let resumed = grid().resume(&dir).run().unwrap();
+    let cell = &resumed.cells[3];
+    assert!(cell.cached);
+    assert_eq!(
+        cell.stats.runtime.as_ns(),
+        poisoned_runtime,
+        "a cached cell must come from the store, not a fresh simulation"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_store_entries_are_resimulated_and_healed() {
+    let dir = temp_dir("corrupt");
+    let cold_json = grid().run().unwrap().to_json();
+    let first = grid().resume(&dir).run().unwrap();
+
+    // Truncate one entry (a crash mid-`rename` cannot produce this, but a
+    // full disk or a hand-edit can) and garbage another.
+    let store = CellStore::open(&dir).unwrap();
+    let k0 = first.cells[0].cell_key.unwrap();
+    let k1 = first.cells[1].cell_key.unwrap();
+    let text = std::fs::read_to_string(store.entry_path(k0)).unwrap();
+    std::fs::write(store.entry_path(k0), &text[..text.len() / 3]).unwrap();
+    std::fs::write(store.entry_path(k1), "not json at all").unwrap();
+
+    let resumed = grid().resume(&dir).run().unwrap();
+    assert!(
+        !resumed.cells[0].cached,
+        "corrupt entry means re-simulation"
+    );
+    assert!(!resumed.cells[1].cached);
+    assert_eq!(resumed.cached_cells(), resumed.cells.len() - 2);
+    assert_eq!(resumed.to_json(), cold_json);
+
+    // The re-simulation healed the store: a further resume is all-cached.
+    assert!(store.load(k0).is_some(), "healed entry loads again");
+    let healed = grid().resume(&dir).run().unwrap();
+    assert_eq!(healed.cached_cells(), healed.cells.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------------- sharding
+
+#[test]
+fn merge_reassembles_byte_identical_reports_over_random_shard_counts() {
+    let cold_json = grid().run().unwrap().to_json();
+    let cell_count = 12;
+
+    // Property loop on a seeded generator: random shard counts (including
+    // degenerate 1 and more-shards-than-cells), parts run independently
+    // and merged in a shuffled order, after a JSON round trip — exactly
+    // what the CI merge job does with artifact files.
+    let mut rng = SimRng::from_seed_and_stream(0xC0FFEE, 17);
+    for round in 0..6 {
+        let total = 1 + (rng.gen_range(0..16) as u32);
+        let mut parts: Vec<GridReport> = (0..total)
+            .map(|i| {
+                let part = grid().shard(i, total).run().unwrap();
+                GridReport::from_json(&part.to_json()).expect("parts round-trip")
+            })
+            .collect();
+        // Shuffle: merge must not rely on arrival order.
+        for i in (1..parts.len()).rev() {
+            parts.swap(i, rng.index(i + 1));
+        }
+        let covered: usize = parts.iter().map(|p| p.cells.len()).sum();
+        assert_eq!(covered, cell_count, "round {round}: shards are disjoint");
+        let merged = GridReport::merge(parts).unwrap();
+        assert_eq!(
+            merged.to_json(),
+            cold_json,
+            "round {round} (n={total}): merge must reproduce the cold bytes"
+        );
+    }
+}
+
+#[test]
+fn shards_can_share_one_store_and_resume_individually() {
+    let dir = temp_dir("shard-store");
+    let cold_json = grid().run().unwrap().to_json();
+
+    // Three shards, run sequentially against one store (CI runs them on
+    // separate machines; same files either way).
+    let parts: Vec<GridReport> = (0..3)
+        .map(|i| grid().resume(&dir).shard(i, 3).run().unwrap())
+        .collect();
+    assert!(parts.iter().all(|p| p.cached_cells() == 0));
+
+    // Re-running one shard is free now, and the partial artifact records
+    // the provenance faithfully (it is not canonicalised away).
+    let rerun = grid().resume(&dir).shard(1, 3).run().unwrap();
+    assert_eq!(rerun.cached_cells(), rerun.cells.len());
+    let rerun_json = rerun.to_json();
+    assert!(
+        rerun_json.contains("\"cached\": true"),
+        "partial reports keep their provenance flags:\n{rerun_json}"
+    );
+    let back = GridReport::from_json(&rerun_json).unwrap();
+    assert_eq!(back.cached_cells(), rerun.cached_cells());
+
+    let merged = GridReport::merge(parts).unwrap();
+    assert_eq!(merged.to_json(), cold_json);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_directory_protocol_only_grid_also_shards_and_merges() {
+    // Directory protocols never build an address network — make sure the
+    // machinery is protocol-agnostic end to end.
+    let mini = || {
+        ExperimentGrid::new("dir-only")
+            .protocols([ProtocolKind::DirClassic, ProtocolKind::DirOpt])
+            .topologies([TopologyKind::Butterfly16])
+            .workloads(vec![paper::apache(0.001)])
+            .seeds([4])
+            .cache(CacheConfig::tiny(512, 4))
+    };
+    let cold = mini().run().unwrap();
+    let parts: Vec<GridReport> = (0..2).map(|i| mini().shard(i, 2).run().unwrap()).collect();
+    let merged = GridReport::merge(parts).unwrap();
+    assert_eq!(merged.to_json(), cold.to_json());
+}
