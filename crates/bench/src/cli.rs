@@ -39,6 +39,11 @@ pub struct Cli {
     /// `--shard I/N`: run only this round-robin partition of each grid,
     /// emitting a partial report for `grid-merge`. `(0, 1)` = everything.
     pub shard: (u32, u32),
+    /// `--gt-origin`: raw guarantee-time value every GT counter starts
+    /// at. Harness knob for the wraparound stress check — results (and
+    /// cell keys) are origin-invariant, so any value must reproduce the
+    /// origin-0 artifact byte for byte.
+    pub gt_origin: u64,
     /// Where to write the run's [`GridReport`] JSON, if anywhere.
     pub json: Option<PathBuf>,
 }
@@ -56,6 +61,7 @@ impl Default for Cli {
             net: NetworkModelSpec::Fast,
             resume: None,
             shard: (0, 1),
+            gt_origin: 0,
             json: None,
         }
     }
@@ -84,6 +90,11 @@ options:
                       reassemble with grid-merge. Single-grid binaries
                       only; composite ones (latency, table2, ablations,
                       contention) reject it
+  --gt-origin <n>     start every guarantee-time counter at raw Gt value
+                      n (default 0). Stress knob: results are provably
+                      origin-invariant, so seeding just below an era
+                      rollover must reproduce the origin-0 artifact
+                      byte for byte
   --json <path>       write the run's GridReport JSON artifact
   --help              print this message";
 
@@ -180,6 +191,11 @@ impl Cli {
                     cli.shard = parsed
                         .filter(|(i, n)| *n > 0 && i < n)
                         .ok_or_else(|| format!("--shard wants I/N with I < N, got {value:?}"))?;
+                }
+                "--gt-origin" => {
+                    cli.gt_origin = value
+                        .parse()
+                        .map_err(|_| format!("bad --gt-origin {value:?}"))?;
                 }
                 "--json" => cli.json = Some(PathBuf::from(value)),
                 other => {
@@ -295,7 +311,8 @@ impl Cli {
             )
             .seeds([self.seed])
             .perturbation(self.perturbation_ns, self.seeds)
-            .shard(self.shard.0, self.shard.1);
+            .shard(self.shard.0, self.shard.1)
+            .gt_origin(self.gt_origin);
         if let Some(dir) = &self.resume {
             grid = grid.resume(dir);
         }
@@ -474,6 +491,20 @@ mod tests {
         // shard 1 of 3 holds exactly the middle one.
         assert_eq!(report.cells.len(), 1);
         assert_eq!(report.cells[0].protocol, ProtocolKind::DirClassic);
+    }
+
+    #[test]
+    fn gt_origin_flag_parses() {
+        let cli = Cli::parse_from(&[]).unwrap();
+        assert_eq!(cli.gt_origin, 0);
+
+        // The CI wraparound stress seeds a few ticks below the era edge.
+        let near_edge = ((1u64 << 48) - 64).to_string();
+        let cli = Cli::parse_from(&args(&["--gt-origin", &near_edge])).unwrap();
+        assert_eq!(cli.gt_origin, (1 << 48) - 64);
+
+        assert!(Cli::parse_from(&args(&["--gt-origin", "-1"])).is_err());
+        assert!(Cli::parse_from(&args(&["--gt-origin", "soon"])).is_err());
     }
 
     #[test]

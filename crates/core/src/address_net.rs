@@ -79,7 +79,7 @@ use tss_net::{
     DetailedNetConfig, Fabric, FastOrderedNet, MultiPlaneNet, NodeId, OrderedNetTiming,
     TrafficLedger,
 };
-use tss_sim::Time;
+use tss_sim::{Gt, Time};
 
 use crate::config::{NetworkModelSpec, Timing};
 
@@ -267,10 +267,15 @@ impl<P: Send + Sync> AddressNet<P> for DetailedAddressNet<P> {
 /// taking link timing from the Table 2 knobs: the fast model charges
 /// `d_ovh + d_switch·hops` with `timing.tick` GT cadence, the detailed
 /// model charges a uniform `d_switch` per link (its token wave's cadence).
+///
+/// `gt_origin` seeds every guarantee-time counter; `Gt::ZERO` in normal
+/// runs, near the era rollover in wraparound stress runs (which must be
+/// observationally identical — every GT comparison is wrapping-safe).
 pub fn build_address_net<P: Send + Sync + 'static>(
     spec: NetworkModelSpec,
     timing: &Timing,
     fabric: Arc<Fabric>,
+    gt_origin: Gt,
 ) -> Box<dyn AddressNet<P>> {
     match spec {
         NetworkModelSpec::Fast => Box::new(FastAddressNet::new(
@@ -282,6 +287,7 @@ pub fn build_address_net<P: Send + Sync + 'static>(
                 },
                 tick: timing.tick,
                 initial_slack: timing.initial_slack,
+                gt_origin,
             },
         )),
         NetworkModelSpec::Detailed {
@@ -295,6 +301,7 @@ pub fn build_address_net<P: Send + Sync + 'static>(
                 link_occupancy,
                 initial_slack,
                 plane: 0, // MultiPlaneNet drives every plane itself
+                gt_origin,
             },
             buffer_depth,
         )),
@@ -406,12 +413,14 @@ mod tests {
             NetworkModelSpec::Fast,
             &timing,
             Arc::new(Fabric::torus4x4()),
+            Gt::ZERO,
         );
         assert!(fast.next_ready().is_none());
         let mut detailed: Box<dyn AddressNet<u32>> = build_address_net(
             NetworkModelSpec::detailed(0),
             &timing,
             Arc::new(Fabric::torus4x4()),
+            Gt::ZERO,
         );
         detailed.inject(Time::from_ns(0), NodeId(0), 1);
         assert!(detailed.next_ready().is_some());

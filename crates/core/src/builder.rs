@@ -60,6 +60,7 @@ pub struct SystemBuilder {
     seed: u64,
     verify: bool,
     record_observations: bool,
+    gt_origin: u64,
     drive: Drive,
 }
 
@@ -77,6 +78,7 @@ impl Default for SystemBuilder {
             seed: base.seed,
             verify: base.verify,
             record_observations: base.record_observations,
+            gt_origin: base.gt_origin,
             drive: Drive::Idle,
         }
     }
@@ -178,6 +180,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Seeds every guarantee-time counter at this raw [`tss_sim::Gt`]
+    /// value (default 0). A harness knob for wraparound stress runs:
+    /// results must be — and CI checks they are — identical to origin 0,
+    /// so it is excluded from the configuration's serialized identity.
+    pub fn gt_origin(mut self, origin: u64) -> Self {
+        self.gt_origin = origin;
+        self
+    }
+
     /// Validates the configuration without building (cheap — no fabric
     /// construction), returning the would-be [`SystemConfig`].
     pub fn build_config(&self) -> Result<SystemConfig, ConfigError> {
@@ -199,6 +210,7 @@ impl SystemBuilder {
             seed: self.seed,
             verify: self.verify,
             record_observations: self.record_observations,
+            gt_origin: self.gt_origin,
         };
         let nodes = cfg.validate()? as usize;
         match &self.drive {

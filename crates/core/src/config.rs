@@ -599,7 +599,7 @@ impl Default for Timing {
 /// construction path: it funnels every consistency rule through
 /// [`SystemConfig::validate`] and reports [`ConfigError`]s instead of
 /// panicking mid-run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Coherence protocol.
     pub protocol: ProtocolKind,
@@ -630,6 +630,46 @@ pub struct SystemConfig {
     /// Record per-operation observed values (litmus tests only — memory
     /// heavy on long runs).
     pub record_observations: bool,
+    /// Raw [`tss_sim::Gt`] value every guarantee-time counter starts at.
+    /// `0` in normal runs; set near `Gt::TICK_MASK` to start a run just
+    /// below the era rollover and stress the wraparound-safe ordering.
+    ///
+    /// This is a *harness* knob, not part of a configuration's identity:
+    /// results are provably origin-invariant (the CI wraparound check
+    /// compares a rollover-seeded run byte-for-byte against origin 0), so
+    /// the manual [`serde::Serialize`] impl below excludes it and cell
+    /// keys stay unchanged.
+    pub gt_origin: u64,
+}
+
+// Manual impl instead of the derive so `gt_origin` stays out of the
+// serialized form (see its doc). Field order must track declaration order
+// exactly — cell keys hash this serialization.
+impl serde::Serialize for SystemConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("protocol".into(), self.protocol.to_value()),
+            ("topology".into(), self.topology.to_value()),
+            ("cache".into(), self.cache.to_value()),
+            ("timing".into(), self.timing.to_value()),
+            ("net".into(), self.net.to_value()),
+            (
+                "instructions_per_ns".into(),
+                self.instructions_per_ns.to_value(),
+            ),
+            ("perturbation_ns".into(), self.perturbation_ns.to_value()),
+            (
+                "perturbation_stream".into(),
+                self.perturbation_stream.to_value(),
+            ),
+            ("seed".into(), self.seed.to_value()),
+            ("verify".into(), self.verify.to_value()),
+            (
+                "record_observations".into(),
+                self.record_observations.to_value(),
+            ),
+        ])
+    }
 }
 
 impl SystemConfig {
@@ -647,6 +687,7 @@ impl SystemConfig {
             seed: 0,
             verify: false,
             record_observations: false,
+            gt_origin: 0,
         }
     }
 
@@ -996,6 +1037,42 @@ mod tests {
             no_buffers.validate(),
             Err(ConfigError::BadNetworkModel { reason }) if reason.contains("buffer")
         ));
+    }
+
+    /// `gt_origin` is a harness knob: two configs differing only in it
+    /// must serialize identically (cell keys hash this serialization), and
+    /// the serialized field list must stay exactly the historical one.
+    #[test]
+    fn gt_origin_stays_out_of_the_serialized_identity() {
+        let base = SystemConfig::paper_default(ProtocolKind::TsSnoop, TopologyKind::Torus4x4);
+        let mut shifted = base.clone();
+        shifted.gt_origin = u64::MAX - 17;
+        let (a, b) = (
+            serde::Serialize::to_value(&base),
+            serde::Serialize::to_value(&shifted),
+        );
+        assert_eq!(a, b, "gt_origin leaked into the serialized form");
+        let serde::Value::Object(entries) = a else {
+            panic!("SystemConfig must serialize as an object");
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "protocol",
+                "topology",
+                "cache",
+                "timing",
+                "net",
+                "instructions_per_ns",
+                "perturbation_ns",
+                "perturbation_stream",
+                "seed",
+                "verify",
+                "record_observations",
+            ],
+            "serialized field list changed — this re-keys every grid cell"
+        );
     }
 
     #[test]

@@ -784,6 +784,7 @@ pub struct ExperimentGrid {
     threads: usize,
     resume: Option<PathBuf>,
     shard: ShardSpec,
+    gt_origin: u64,
 }
 
 impl ExperimentGrid {
@@ -806,6 +807,7 @@ impl ExperimentGrid {
             threads: 0,
             resume: None,
             shard: ShardSpec::FULL,
+            gt_origin: 0,
         }
     }
 
@@ -888,6 +890,17 @@ impl ExperimentGrid {
         self
     }
 
+    /// Seeds every guarantee-time counter at `origin` raw [`tss_sim::Gt`]
+    /// ticks. A harness knob, not cell identity: it is excluded from the
+    /// serialized [`SystemConfig`] (and thus from [`CellKey`]) because a
+    /// run seeded just below the era rollover must be byte-identical to
+    /// the same run at origin 0 — that equivalence is exactly what the CI
+    /// wraparound stress check asserts.
+    pub fn gt_origin(mut self, origin: u64) -> Self {
+        self.gt_origin = origin;
+        self
+    }
+
     /// Caps worker threads (0 = one per available core).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -958,6 +971,7 @@ impl ExperimentGrid {
                                 seed,
                                 verify: self.verify,
                                 record_observations: false,
+                                gt_origin: self.gt_origin,
                             };
                             plans.push((plans.len(), cfg, spec));
                         }

@@ -285,9 +285,14 @@ impl System {
             )),
         };
 
-        let addr = protocol
-            .uses_snooping()
-            .then(|| build_address_net(cfg.net, &cfg.timing, Arc::clone(&fabric)));
+        let addr = protocol.uses_snooping().then(|| {
+            build_address_net(
+                cfg.net,
+                &cfg.timing,
+                Arc::clone(&fabric),
+                tss_sim::Gt::from_raw(cfg.gt_origin),
+            )
+        });
 
         let unicast = |ordering| {
             UnicastNet::with_timing(

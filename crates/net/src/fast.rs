@@ -44,7 +44,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use tss_sim::stats::{Histogram, LatencyStat};
-use tss_sim::{Duration, Time};
+use tss_sim::{Duration, Gt, GtKey, Time};
 
 use crate::ids::NodeId;
 use crate::topology::Fabric;
@@ -84,6 +84,12 @@ pub struct OrderedNetTiming {
     /// positive value allows GTs to advance during moderate network
     /// contention", §2.2).
     pub initial_slack: u64,
+    /// Guarantee time the network starts at. `Gt::ZERO` in normal runs;
+    /// ordering times are assigned relative to it
+    /// (`OT = origin + ⌊t/τ⌋ + D_max + S`) and physical ordering instants
+    /// are derived from the *distance* to it, so a run seeded just below
+    /// an era rollover behaves identically to the zero-origin run.
+    pub gt_origin: Gt,
 }
 
 impl OrderedNetTiming {
@@ -97,6 +103,7 @@ impl OrderedNetTiming {
             },
             tick: Duration::from_ns(1),
             initial_slack: 0,
+            gt_origin: Gt::ZERO,
         }
     }
 
@@ -107,6 +114,7 @@ impl OrderedNetTiming {
             hops: HopTiming::UniformLinks { link },
             tick: link,
             initial_slack: s,
+            gt_origin: Gt::ZERO,
         }
     }
 
@@ -134,8 +142,8 @@ pub struct Delivery<P> {
     pub src: NodeId,
     /// Per-source injection sequence number (total-order tie-breaker).
     pub seq: u64,
-    /// Ordering time in ticks.
-    pub ot: u64,
+    /// Ordering time, wraparound-safe.
+    pub ot: Gt,
     /// Physical arrival time of this copy at `dest` (used by the prefetch
     /// optimisation: controllers may start a DRAM/SRAM access at arrival
     /// and respond once ordered — §3 optimisation 1).
@@ -152,19 +160,19 @@ pub struct Delivery<P> {
 /// instead of being cloned into N reorder queues at injection.
 #[derive(Debug)]
 struct Pending<P> {
-    ot: u64,
-    src: NodeId,
-    seq: u64,
+    /// `(OT, source, sequence)` packed into one wraparound-safe key; the
+    /// physical ordering instant is recomputed from `key.gt()`'s distance
+    /// to the origin instead of being stored.
+    key: GtKey,
     /// Plane the broadcast tree was drawn from (round-robin per source).
     plane: usize,
     injected_at: Time,
-    ordered_at: Time,
     payload: Arc<P>,
 }
 
 impl<P> PartialEq for Pending<P> {
     fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
+        self.key == other.key
     }
 }
 impl<P> Eq for Pending<P> {}
@@ -175,12 +183,7 @@ impl<P> PartialOrd for Pending<P> {
 }
 impl<P> Ord for Pending<P> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
-    }
-}
-impl<P> Pending<P> {
-    fn key(&self) -> (u64, u16, u64) {
-        (self.ot, self.src.0, self.seq)
+        self.key.cmp(&other.key)
     }
 }
 
@@ -246,6 +249,13 @@ impl<P> FastOrderedNet<P> {
         }
     }
 
+    /// Physical instant at which an ordering time is reached: its distance
+    /// from the origin, in ticks, times the tick period.
+    #[inline]
+    fn ordered_at_of(&self, ot: Gt) -> Time {
+        Time::from_ns(ot.delta_since(self.timing.gt_origin) * self.timing.tick.as_ns())
+    }
+
     /// Physical arrival delay of `src`'s broadcast (on `plane`) at `dest`,
     /// in nanoseconds from injection.
     fn arrival_ns(&self, plane: usize, src: NodeId, dest: usize) -> u64 {
@@ -278,8 +288,9 @@ impl<P> FastOrderedNet<P> {
             HopTiming::UniformLinks { link } => link.as_ns() * tree.max_depth_links as u64,
         };
         let dmax_ticks = dmax_ns.div_ceil(tau);
-        let ot = gt_src + dmax_ticks + self.timing.initial_slack;
-        let ordered_at = Time::from_ns(ot * tau);
+        let ot_rel = gt_src + dmax_ticks + self.timing.initial_slack;
+        let ot = self.timing.gt_origin.wrapping_add(ot_rel);
+        let ordered_at = Time::from_ns(ot_rel * tau);
         // The furthest destination is the binding one; nearer copies only
         // arrive earlier (per-copy arrivals are derived at drain time).
         assert!(
@@ -300,12 +311,9 @@ impl<P> FastOrderedNet<P> {
             self.depth_at_insert.record(self.pending.len() as u64);
         }
         self.pending.push(Reverse(Pending {
-            ot,
-            src,
-            seq,
+            key: GtKey::with_src_seq(ot, src.0, seq),
             plane,
             injected_at: now,
-            ordered_at,
             payload: Arc::new(payload),
         }));
 
@@ -330,7 +338,7 @@ impl<P> FastOrderedNet<P> {
     pub fn drain_into(&mut self, now: Time, out: &mut Vec<Delivery<P>>) {
         debug_assert!(self.ready.is_empty());
         while let Some(Reverse(top)) = self.pending.peek() {
-            if top.ordered_at > now {
+            if self.ordered_at_of(top.key.gt()) > now {
                 break;
             }
             let Reverse(p) = self.pending.pop().expect("peeked entry exists");
@@ -343,22 +351,20 @@ impl<P> FastOrderedNet<P> {
         out.reserve(self.ready.len() * n);
         for dest in 0..n {
             for i in 0..self.ready.len() {
+                let src = NodeId(self.ready[i].key.src());
                 let arrival = self.ready[i].injected_at
-                    + Duration::from_ns(self.arrival_ns(
-                        self.ready[i].plane,
-                        self.ready[i].src,
-                        dest,
-                    ));
+                    + Duration::from_ns(self.arrival_ns(self.ready[i].plane, src, dest));
+                let ordered_at = self.ordered_at_of(self.ready[i].key.gt());
                 let p = &self.ready[i];
-                debug_assert!(arrival <= p.ordered_at);
-                self.residency.record(p.ordered_at.since(arrival));
+                debug_assert!(arrival <= ordered_at);
+                self.residency.record(ordered_at.since(arrival));
                 out.push(Delivery {
                     dest: NodeId(dest as u16),
-                    src: p.src,
-                    seq: p.seq,
-                    ot: p.ot,
+                    src,
+                    seq: p.key.seq(),
+                    ot: p.key.gt(),
                     arrival,
-                    ordered_at: p.ordered_at,
+                    ordered_at,
                     payload: Arc::clone(&p.payload),
                 });
                 self.delivered += 1;
@@ -388,7 +394,9 @@ impl<P> FastOrderedNet<P> {
     /// `(OT, source, seq)`-ordered and `ordered_at` is monotone in OT, so
     /// the top entry carries the minimum.
     pub fn next_ordered_at(&self) -> Option<Time> {
-        self.pending.peek().map(|Reverse(p)| p.ordered_at)
+        self.pending
+            .peek()
+            .map(|Reverse(p)| self.ordered_at_of(p.key.gt()))
     }
 
     /// The address-network traffic ledger (Request-class bytes).
@@ -543,8 +551,43 @@ mod tests {
             },
             tick: Duration::from_ns(15),
             initial_slack: 0,
+            gt_origin: Gt::ZERO,
         };
         let _: FastOrderedNet<u32> = FastOrderedNet::new(Arc::new(Fabric::torus4x4()), timing);
+    }
+
+    /// An origin just below the era rollover must leave every physical
+    /// instant and delivery identical to the zero-origin run; only the
+    /// (relative) OTs are shifted, crossing into era 1.
+    #[test]
+    fn era_rollover_origin_is_invisible_physically() {
+        let drive = |origin: Gt| -> Vec<(u16, u16, u64, u64, u64, u64)> {
+            let timing = OrderedNetTiming {
+                gt_origin: origin,
+                ..OrderedNetTiming::paper_default()
+            };
+            let mut n: FastOrderedNet<u32> =
+                FastOrderedNet::new(Arc::new(Fabric::butterfly16()), timing);
+            for i in 0..12u32 {
+                n.inject(Time::from_ns(5 + 7 * i as u64), NodeId((i % 16) as u16), i);
+            }
+            n.drain(Time::from_ns(10_000))
+                .iter()
+                .map(|d| {
+                    (
+                        d.dest.0,
+                        d.src.0,
+                        d.seq,
+                        d.ot.delta_since(origin),
+                        d.arrival.as_ns(),
+                        d.ordered_at.as_ns(),
+                    )
+                })
+                .collect()
+        };
+        let origin = Gt::from_parts(0, Gt::TICK_MASK - 10);
+        let wrapped = drive(origin);
+        assert_eq!(wrapped, drive(Gt::ZERO));
     }
 
     #[test]
@@ -556,6 +599,7 @@ mod tests {
             },
             tick: Duration::from_ns(15),
             initial_slack: 2,
+            gt_origin: Gt::ZERO,
         };
         let mut n: FastOrderedNet<u32> = FastOrderedNet::new(Arc::new(Fabric::torus4x4()), timing);
         // GT_src = 0, D_max = ceil(64/15) = 5 ticks, S = 2 -> OT = 7.

@@ -18,7 +18,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use tss_sim::Time;
+use tss_sim::{Gt, GtKey, Time};
 
 use crate::ids::NodeId;
 use crate::topology::Fabric;
@@ -28,20 +28,16 @@ use super::net::{DetailedDelivery, DetailedNet, DetailedNetConfig};
 
 #[derive(Debug)]
 struct MergeEntry<P> {
-    ot: u64,
-    src: NodeId,
-    seq_global: u64,
+    /// `(OT, src, global seq)` packed into one wraparound-safe key: the
+    /// same lexicographic order the old `(u64, u16, u64)` tuple gave, but
+    /// correct across an era rollover of the ordering times.
+    key: GtKey,
     delivery: DetailedDelivery<P>,
 }
 
-impl<P> MergeEntry<P> {
-    fn key(&self) -> (u64, u16, u64) {
-        (self.ot, self.src.0, self.seq_global)
-    }
-}
 impl<P> PartialEq for MergeEntry<P> {
     fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
+        self.key == other.key
     }
 }
 impl<P> Eq for MergeEntry<P> {}
@@ -52,7 +48,7 @@ impl<P> PartialOrd for MergeEntry<P> {
 }
 impl<P> Ord for MergeEntry<P> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
+        self.key.cmp(&other.key)
     }
 }
 
@@ -88,6 +84,11 @@ pub struct MultiPlaneNet<P> {
     ledger: TrafficLedger,
     injected: u64,
     released_total: u64,
+    /// Endpoint-copies injected but not yet released, maintained per step
+    /// (`+= num_nodes` at injection, `-= 1` per release) — the old
+    /// `injected * num_nodes - released_total` derivation overflowed the
+    /// multiply long before the counters themselves wrapped.
+    copies_outstanding: u64,
 }
 
 impl<P> MultiPlaneNet<P> {
@@ -108,13 +109,14 @@ impl<P> MultiPlaneNet<P> {
             ledger,
             injected: 0,
             released_total: 0,
+            copies_outstanding: 0,
             fabric,
         }
     }
 
     /// Broadcasts `payload` from `src` on the next plane in round-robin
     /// order; returns `(plane, ordering time)`.
-    pub fn inject(&mut self, now: Time, src: NodeId, payload: P) -> (usize, u64) {
+    pub fn inject(&mut self, now: Time, src: NodeId, payload: P) -> (usize, Gt) {
         // Advance every plane (not just the injected one) to the
         // injection instant: a lagging sibling plane would otherwise hand
         // out stale next-event times and hold the min-GT release gate
@@ -126,6 +128,7 @@ impl<P> MultiPlaneNet<P> {
         self.ledger
             .record_tree(self.fabric.tree(plane, src), MsgClass::Request);
         self.injected += 1;
+        self.copies_outstanding += self.fabric.num_nodes() as u64;
         (plane, ot)
     }
 
@@ -172,14 +175,13 @@ impl<P> MultiPlaneNet<P> {
     fn collect_and_release(&mut self, at: Time) {
         for plane in 0..self.planes.len() {
             for d in self.planes[plane].take_deliveries() {
+                // Per-source sequence numbers are per-plane; recover a
+                // global tiebreak from (plane count, seq) structure:
+                // within one source, plane assignment is round-robin,
+                // so (seq * planes + plane) restores injection order.
+                let seq_global = d.seq * self.planes.len() as u64 + plane as u64;
                 let e = MergeEntry {
-                    ot: d.ot,
-                    src: d.src,
-                    // Per-source sequence numbers are per-plane; recover a
-                    // global tiebreak from (plane count, seq) structure:
-                    // within one source, plane assignment is round-robin,
-                    // so (seq * planes + plane) restores injection order.
-                    seq_global: d.seq * self.planes.len() as u64 + plane as u64,
+                    key: GtKey::with_src_seq(d.ot, d.src.0, seq_global),
                     delivery: d,
                 };
                 self.merge[e.delivery.dest.index()].push(Reverse(e));
@@ -198,12 +200,13 @@ impl<P> MultiPlaneNet<P> {
                 .min()
                 .expect("at least one plane");
             while let Some(Reverse(top)) = self.merge[node].peek() {
-                if top.ot >= gt_min {
+                if top.key.gt() >= gt_min {
                     break;
                 }
                 let Reverse(e) = self.merge[node].pop().expect("peeked");
                 self.released.push((at, e.delivery));
                 self.released_total += 1;
+                self.copies_outstanding -= 1;
                 self.merge_pending -= 1;
             }
         }
@@ -237,8 +240,10 @@ impl<P> MultiPlaneNet<P> {
     }
 
     /// Minimum guarantee time of `node` across planes — the value its
-    /// coherence controller may trust.
-    pub fn endpoint_gt(&self, node: NodeId) -> u64 {
+    /// coherence controller may trust. `Gt`'s wrapping order keeps the
+    /// minimum meaningful across an era rollover (per-plane skew is
+    /// bounded, far inside the ±2^63 comparison window).
+    pub fn endpoint_gt(&self, node: NodeId) -> Gt {
         self.planes
             .iter()
             .map(|p| p.endpoint_gt(node))
@@ -259,9 +264,10 @@ impl<P> MultiPlaneNet<P> {
     /// Endpoint-copies injected but not yet released through
     /// [`MultiPlaneNet::take_deliveries`]'s backing store: in flight on a
     /// plane, waiting in a per-plane reorder queue, or held back by the
-    /// min-GT merge gate.
+    /// min-GT merge gate. Maintained incrementally so it stays exact
+    /// however large the lifetime `injected` count grows.
     pub fn outstanding(&self) -> u64 {
-        self.injected * self.fabric.num_nodes() as u64 - self.released_total
+        self.copies_outstanding
     }
 
     /// Timestamp of the earliest internal event across all planes. Token
@@ -375,8 +381,64 @@ mod tests {
         let mut n = net(DetailedNetConfig::default());
         n.run_until(Time::from_ns(150));
         // Idle and unloaded: all planes tick in lock step.
-        assert_eq!(n.endpoint_gt(NodeId(0)), 11);
+        assert_eq!(n.endpoint_gt(NodeId(0)), Gt::from_ticks(11));
         assert_eq!(n.planes(), 4);
+    }
+
+    /// Regression for the overflowing `injected * num_nodes` derivation of
+    /// [`MultiPlaneNet::outstanding`]: the incrementally maintained count
+    /// must ignore how large the lifetime totals are.
+    #[test]
+    fn outstanding_survives_huge_lifetime_counters() {
+        let mut n = net(DetailedNetConfig::default());
+        n.inject(Time::from_ns(10), NodeId(0), 1);
+        n.injected = u64::MAX / 8;
+        n.released_total = n.injected - 1;
+        assert_eq!(n.outstanding(), 16, "one broadcast, 16 copies pending");
+        n.injected = 1;
+        n.released_total = 0;
+        n.run_until(Time::from_ns(2_000));
+        assert_eq!(n.outstanding(), 0);
+        assert_eq!(n.take_deliveries().len(), 16);
+    }
+
+    /// Starting all planes just below the era rollover must not disturb
+    /// the merged order: same deliveries, same release instants, OTs
+    /// shifted by exactly the origin.
+    #[test]
+    fn era_rollover_merge_matches_zero_origin() {
+        let drive = |origin: Gt| -> Vec<(u64, u16, u16, u64, u64)> {
+            let mut n: MultiPlaneNet<u32> = MultiPlaneNet::new(
+                Arc::new(Fabric::butterfly16()),
+                DetailedNetConfig {
+                    link_occupancy: Duration::from_ns(25),
+                    gt_origin: origin,
+                    ..DetailedNetConfig::default()
+                },
+            );
+            for i in 0..32u32 {
+                n.inject(Time::from_ns(10 + 3 * i as u64), NodeId((i % 16) as u16), i);
+            }
+            n.run_until(Time::from_ns(50_000));
+            n.take_released()
+                .iter()
+                .map(|(at, d)| {
+                    (
+                        at.as_ns(),
+                        d.dest.0,
+                        d.src.0,
+                        d.seq,
+                        d.ot.delta_since(origin),
+                    )
+                })
+                .collect()
+        };
+        let origin = Gt::from_parts(0, Gt::TICK_MASK - 1);
+        assert_eq!(
+            drive(origin),
+            drive(Gt::ZERO),
+            "era rollover changed the merged release log"
+        );
     }
 
     #[test]

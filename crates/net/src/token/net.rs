@@ -5,7 +5,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use tss_sim::stats::LatencyStat;
-use tss_sim::{Duration, EventQueue, Time};
+use tss_sim::{Duration, EventQueue, Gt, GtKey, Time};
 
 use crate::ids::{LinkId, NodeId, Vertex};
 use crate::topology::Fabric;
@@ -31,6 +31,11 @@ pub struct DetailedNetConfig {
     /// round-robin across planes; each plane is an independent token
     /// domain).
     pub plane: usize,
+    /// Guarantee time every switch and endpoint starts at. `Gt::ZERO` in
+    /// normal runs; seeding it just below an era rollover exercises the
+    /// wraparound-safe ordering end to end (results must be identical to
+    /// the zero-origin run, merely shifted).
+    pub gt_origin: Gt,
 }
 
 impl Default for DetailedNetConfig {
@@ -40,6 +45,7 @@ impl Default for DetailedNetConfig {
             link_occupancy: Duration::ZERO,
             initial_slack: 2,
             plane: 0,
+            gt_origin: Gt::ZERO,
         }
     }
 }
@@ -54,8 +60,8 @@ pub struct DetailedDelivery<P> {
     pub src: NodeId,
     /// Per-source sequence number.
     pub seq: u64,
-    /// Ordering time in ticks (endpoint GT at processing).
-    pub ot: u64,
+    /// Ordering time (endpoint GT at processing), wraparound-safe.
+    pub ot: Gt,
     /// Physical arrival time at this endpoint (self-deliveries arrive at
     /// injection time).
     pub arrival: Time,
@@ -68,10 +74,10 @@ pub struct DetailedDelivery<P> {
 /// Aggregate statistics of a detailed-network run.
 #[derive(Debug, Clone, Default)]
 pub struct DetailedNetStats {
-    /// Minimum endpoint guarantee time (token rounds completed).
-    pub min_endpoint_gt: u64,
+    /// Minimum endpoint guarantee time (origin plus token rounds).
+    pub min_endpoint_gt: Gt,
     /// Maximum endpoint guarantee time.
-    pub max_endpoint_gt: u64,
+    pub max_endpoint_gt: Gt,
     /// Largest switch buffer occupancy observed anywhere.
     pub switch_buffer_high_water: usize,
     /// Arrival → processed delay at endpoints (the ordering delay the fast
@@ -90,7 +96,7 @@ pub struct DetailedNetStats {
 struct FlightTxn<P> {
     src: NodeId,
     seq: u64,
-    ot: u64,
+    ot: Gt,
     slack: u64,
     injected_at: Time,
     payload: Arc<P>,
@@ -129,21 +135,17 @@ enum Ev<P> {
 
 #[derive(Debug)]
 struct ReorderEntry<P> {
-    ot: u64,
-    src: NodeId,
-    seq: u64,
+    /// `(OT, src, seq)` packed into one wraparound-safe 16-byte key — the
+    /// same lexicographic order the old `(u64, u16, u64)` tuple gave, but
+    /// correct across an era rollover.
+    key: GtKey,
     arrival: Time,
     payload: Arc<P>,
 }
 
-impl<P> ReorderEntry<P> {
-    fn key(&self) -> (u64, u16, u64) {
-        (self.ot, self.src.0, self.seq)
-    }
-}
 impl<P> PartialEq for ReorderEntry<P> {
     fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
+        self.key == other.key
     }
 }
 impl<P> Eq for ReorderEntry<P> {}
@@ -154,7 +156,7 @@ impl<P> PartialOrd for ReorderEntry<P> {
 }
 impl<P> Ord for ReorderEntry<P> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
+        self.key.cmp(&other.key)
     }
 }
 
@@ -215,6 +217,11 @@ pub struct DetailedNet<P> {
     plane_links: usize,
     /// `Ev::LinkFree` events currently scheduled (blocks fast-forward).
     link_free_pending: usize,
+    /// Endpoint-copies injected but not yet processed, maintained per step
+    /// (`+= num_nodes` at injection, `-= 1` per processed copy). Replaces
+    /// the old `injected * num_nodes - processed` derivation, whose
+    /// multiply overflows u64 long before the counters themselves do.
+    copies_outstanding: u64,
     /// Idle waves skipped in closed form.
     waves_skipped: u64,
     /// Net-level mirror of the largest per-switch buffer occupancy ever
@@ -264,7 +271,7 @@ impl<P> DetailedNet<P> {
                 cores.push(None); // switch belonging to another plane
             } else {
                 assert!(ins > 0 && outs > 0, "vertex {v} has one-sided connectivity");
-                let mut core = SwitchCore::new(ins, outs);
+                let mut core = SwitchCore::starting_at(ins, outs, cfg.gt_origin);
                 for p in 0..ins {
                     core.token_arrives(p); // initial marking
                 }
@@ -307,6 +314,7 @@ impl<P> DetailedNet<P> {
             processed: 0,
             plane_links,
             link_free_pending: 0,
+            copies_outstanding: 0,
             waves_skipped: 0,
             buffer_high_water: 0,
             link_stamp: vec![0; fabric.links().len()],
@@ -322,16 +330,16 @@ impl<P> DetailedNet<P> {
     }
 
     /// Broadcasts `payload` from `src` at time `now`, returning the
-    /// assigned ordering time (in ticks).
+    /// assigned ordering time.
     ///
     /// Internally advances the simulation to `now` first, so injections
     /// must be presented in non-decreasing time order.
-    pub fn inject(&mut self, now: Time, src: NodeId, payload: P) -> u64 {
+    pub fn inject(&mut self, now: Time, src: NodeId, payload: P) -> Gt {
         self.run_until(now);
         self.now = now;
         let max_depth = self.fabric.tree(self.cfg.plane, src).max_depth_links as u64;
         let gt = self.core(Vertex::node(src)).gt();
-        let ot = gt + max_depth + self.cfg.initial_slack;
+        let ot = gt.wrapping_add(max_depth + self.cfg.initial_slack);
         let seq = self.endpoints[src.index()].next_seq;
         self.endpoints[src.index()].next_seq += 1;
         let payload = Arc::new(payload);
@@ -350,6 +358,7 @@ impl<P> DetailedNet<P> {
         self.ledger
             .record_tree(self.fabric.tree(self.cfg.plane, src), MsgClass::Request);
         self.injected += 1;
+        self.copies_outstanding += self.fabric.num_nodes() as u64;
         ot
     }
 
@@ -460,8 +469,9 @@ impl<P> DetailedNet<P> {
         std::mem::take(&mut self.deliveries)
     }
 
-    /// The current guarantee time of endpoint `node` (tokens processed).
-    pub fn endpoint_gt(&self, node: NodeId) -> u64 {
+    /// The current guarantee time of endpoint `node` (origin plus tokens
+    /// processed).
+    pub fn endpoint_gt(&self, node: NodeId) -> Gt {
         self.core_ref(Vertex::node(node)).gt()
     }
 
@@ -476,8 +486,10 @@ impl<P> DetailedNet<P> {
     /// Endpoint-copies injected but not yet handed out through
     /// [`DetailedNet::take_deliveries`]'s backing store: copies still in
     /// flight, buffered in switches, or parked in endpoint reorder queues.
+    /// Maintained incrementally so it stays exact however large the
+    /// lifetime `injected` count grows.
     pub fn outstanding(&self) -> u64 {
-        self.injected * self.fabric.num_nodes() as u64 - self.processed
+        self.copies_outstanding
     }
 
     /// Largest switch-buffer occupancy observed so far on this plane —
@@ -494,13 +506,13 @@ impl<P> DetailedNet<P> {
 
     /// Aggregate run statistics.
     pub fn stats(&self) -> DetailedNetStats {
-        let gts: Vec<u64> = (0..self.fabric.num_nodes())
+        let gts: Vec<Gt> = (0..self.fabric.num_nodes())
             .map(|n| self.endpoint_gt(NodeId(n as u16)))
             .collect();
         let high_water = self.switch_buffer_high_water();
         DetailedNetStats {
-            min_endpoint_gt: gts.iter().copied().min().unwrap_or(0),
-            max_endpoint_gt: gts.iter().copied().max().unwrap_or(0),
+            min_endpoint_gt: gts.iter().copied().min().unwrap_or(Gt::ZERO),
+            max_endpoint_gt: gts.iter().copied().max().unwrap_or(Gt::ZERO),
             switch_buffer_high_water: high_water,
             ordering_delay: self.ordering_delay,
             injected: self.injected,
@@ -551,7 +563,7 @@ impl<P> DetailedNet<P> {
 
     fn endpoint_receives(&mut self, node: NodeId, ft: FlightTxn<P>) {
         let gt = self.core_ref(Vertex::node(node)).gt();
-        let deadline = gt + ft.slack;
+        let deadline = gt.wrapping_add(ft.slack);
         // The paper's central invariant: slack bookkeeping has preserved
         // the ordering time end to end.
         assert_eq!(
@@ -563,9 +575,7 @@ impl<P> DetailedNet<P> {
         self.endpoints[node.index()]
             .reorder
             .push(Reverse(ReorderEntry {
-                ot: ft.ot,
-                src: ft.src,
-                seq: ft.seq,
+                key: GtKey::with_src_seq(ft.ot, ft.src.0, ft.seq),
                 arrival: self.now,
                 payload: ft.payload,
             }));
@@ -586,7 +596,7 @@ impl<P> DetailedNet<P> {
         loop {
             let ready = matches!(
                 self.endpoints[node.index()].reorder.peek(),
-                Some(Reverse(top)) if top.ot < gt
+                Some(Reverse(top)) if top.key.gt() < gt
             );
             if !ready {
                 break;
@@ -596,20 +606,21 @@ impl<P> DetailedNet<P> {
                 .pop()
                 .expect("peeked entry exists");
             assert_eq!(
-                e.ot + 1,
+                e.key.gt().next(),
                 gt,
                 "transaction missed its batch at {node}: OT {} but GT already {gt}",
-                e.ot
+                e.key.gt()
             );
             self.ordering_delay
                 .record(self.now.saturating_since(e.arrival));
             self.processed += 1;
+            self.copies_outstanding -= 1;
             self.reorder_parked -= 1;
             self.deliveries.push(DetailedDelivery {
                 dest: node,
-                src: e.src,
-                seq: e.seq,
-                ot: e.ot,
+                src: NodeId(e.key.src()),
+                seq: e.key.seq(),
+                ot: e.key.gt(),
                 arrival: e.arrival,
                 processed_at: self.now,
                 payload: e.payload,
@@ -787,7 +798,7 @@ mod tests {
         let mut net = unloaded(Fabric::torus4x4(), 2);
         net.run_until(Time::from_ns(150));
         // Initial fire at t=0, then one round per 15 ns: GT = 11 at t=150.
-        assert_eq!(net.endpoint_gt(NodeId(0)), 11);
+        assert_eq!(net.endpoint_gt(NodeId(0)), Gt::from_ticks(11));
         let s = net.stats();
         assert_eq!(s.min_endpoint_gt, s.max_endpoint_gt, "lock-step when idle");
     }
@@ -894,8 +905,8 @@ mod tests {
     /// behaviour for traffic injected after the gap.
     #[test]
     fn idle_fast_forward_matches_wave_by_wave_simulation() {
-        type EndpointLog = Vec<Vec<(u32, u64, u64)>>;
-        let drive = |skip: bool| -> (Vec<u64>, EndpointLog) {
+        type EndpointLog = Vec<Vec<(u32, Gt, u64)>>;
+        let drive = |skip: bool| -> (Vec<Gt>, EndpointLog) {
             let mut net = unloaded(Fabric::torus4x4(), 2);
             net.inject(Time::from_ns(40), NodeId(1), 7);
             net.run_until(Time::from_ns(400));
@@ -944,6 +955,78 @@ mod tests {
         let mut net = unloaded(Fabric::butterfly(4, 2, 1), 2);
         net.inject(Time::from_ns(10), NodeId(0), 1);
         assert_eq!(net.ledger().class_total(MsgClass::Request), 21 * 8);
+    }
+
+    /// Regression for the old `injected * num_nodes - processed` derivation
+    /// of [`DetailedNet::outstanding`]: with a lifetime `injected` count
+    /// past `u64::MAX / num_nodes` the multiply overflowed even though the
+    /// true in-flight count was tiny. The incrementally-maintained counter
+    /// must be immune to how large the lifetime totals grow.
+    #[test]
+    fn outstanding_survives_huge_lifetime_counters() {
+        let mut net = unloaded(Fabric::torus4x4(), 2);
+        net.inject(Time::from_ns(40), NodeId(0), 1);
+        // Simulate the counters of a (much) longer run; only the lifetime
+        // totals move, the in-flight state is untouched.
+        net.injected = u64::MAX / 8;
+        net.processed = net.injected - 1;
+        assert_eq!(net.outstanding(), 16, "one broadcast, 16 copies in flight");
+        net.injected = 1;
+        net.processed = 0;
+        net.run_until(Time::from_ns(2_000));
+        assert_eq!(net.outstanding(), 0);
+        assert_eq!(net.take_deliveries().len(), 16);
+    }
+
+    /// A network whose guarantee times start one wave short of the era
+    /// rollover must behave exactly like the zero-origin network: same
+    /// deliveries in the same order at the same instants, with every OT
+    /// shifted by the origin.
+    #[test]
+    fn era_rollover_run_matches_zero_origin_run() {
+        // (dest, src, seq, ot - origin, arrival ns, processed ns)
+        type DeliveryLog = Vec<(u16, u16, u64, u64, u64, u64)>;
+        let drive = |origin: Gt| -> (Vec<Gt>, DeliveryLog) {
+            let mut net: DetailedNet<u32> = DetailedNet::new(
+                Arc::new(Fabric::torus4x4()),
+                DetailedNetConfig {
+                    link_occupancy: Duration::from_ns(20),
+                    gt_origin: origin,
+                    ..DetailedNetConfig::default()
+                },
+            );
+            for i in 0..10u32 {
+                net.inject(Time::from_ns(40 + 2 * i as u64), NodeId((i % 4) as u16), i);
+            }
+            net.run_until(Time::from_ns(20_000));
+            let gts = (0..16).map(|n| net.endpoint_gt(NodeId(n))).collect();
+            let log = net
+                .take_deliveries()
+                .iter()
+                .map(|d| {
+                    (
+                        d.dest.0,
+                        d.src.0,
+                        d.seq,
+                        d.ot.delta_since(origin),
+                        d.arrival.as_ns(),
+                        d.processed_at.as_ns(),
+                    )
+                })
+                .collect();
+            (gts, log)
+        };
+        // Two waves before the tick field wraps into era 1.
+        let origin = Gt::from_parts(0, Gt::TICK_MASK - 1);
+        let (gt_wrap, log_wrap) = drive(origin);
+        let (gt_zero, log_zero) = drive(Gt::ZERO);
+        assert_eq!(log_wrap, log_zero, "era rollover changed the deliveries");
+        assert!(gt_wrap.iter().all(|g| g.era() == 1), "rollover not crossed");
+        let shifted: Vec<Gt> = gt_zero
+            .iter()
+            .map(|g| origin.wrapping_add(g.delta_since(Gt::ZERO)))
+            .collect();
+        assert_eq!(gt_wrap, shifted, "guarantee times not origin-shifted");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The token-passing logic of one network switch (§2.2, Figure 1).
 
+use tss_sim::Gt;
+
 /// A transaction copy buffered inside a switch, waiting for an output link.
 #[derive(Debug, Clone)]
 struct BufEntry<T> {
@@ -66,7 +68,7 @@ struct BufEntry<T> {
 pub struct SwitchCore<T> {
     token_count: Vec<u64>,
     out_bufs: Vec<Vec<BufEntry<T>>>,
-    gt: u64,
+    gt: Gt,
     arrivals: u64,
     buffered: usize,
     buffer_high_water: usize,
@@ -85,12 +87,23 @@ impl<T> SwitchCore<T> {
     ///
     /// Panics if either port count is zero.
     pub fn new(in_ports: usize, out_ports: usize) -> Self {
+        Self::starting_at(in_ports, out_ports, Gt::ZERO)
+    }
+
+    /// Like [`SwitchCore::new`], but with the guarantee time seeded at
+    /// `origin` instead of zero — used to start whole simulations near the
+    /// era rollover and prove the wraparound-safe ordering is exercised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port count is zero.
+    pub fn starting_at(in_ports: usize, out_ports: usize, origin: Gt) -> Self {
         assert!(in_ports > 0, "a switch needs at least one input");
         assert!(out_ports > 0, "a switch needs at least one output");
         SwitchCore {
             token_count: vec![0; in_ports],
             out_bufs: (0..out_ports).map(|_| Vec::new()).collect(),
-            gt: 0,
+            gt: origin,
             arrivals: 0,
             buffered: 0,
             buffer_high_water: 0,
@@ -161,7 +174,7 @@ impl<T> SwitchCore<T> {
                 }
             }
         }
-        self.gt += 1;
+        self.gt = self.gt.next();
         true
     }
 
@@ -201,9 +214,10 @@ impl<T> SwitchCore<T> {
         self.buffer_high_water
     }
 
-    /// Tokens propagated so far: the switch's guarantee time.
+    /// The switch's guarantee time: its starting origin plus the tokens it
+    /// has propagated, as a packed wraparound-safe [`Gt`].
     #[inline]
-    pub fn gt(&self) -> u64 {
+    pub fn gt(&self) -> Gt {
         self.gt
     }
 
@@ -225,7 +239,7 @@ impl<T> SwitchCore<T> {
             "fast-forward of a non-idle switch"
         );
         debug_assert_eq!(self.buffered, 0, "fast-forward with buffered transactions");
-        self.gt += k;
+        self.gt = self.gt.wrapping_add(k);
     }
 
     /// Pending (unconsumed) tokens on `in_port`.
@@ -276,7 +290,7 @@ mod tests {
         assert_eq!(sw.tokens_pending(1), 0);
         assert_eq!(sw.buffered_slacks(0), vec![1]);
         assert_eq!(sw.buffered_slacks(1), vec![1]);
-        assert_eq!(sw.gt(), 1);
+        assert_eq!(sw.gt(), Gt::from_ticks(1));
 
         // (e) Contention removed: the message is issued on both outputs
         // with slack adjusted by each branch's ΔD (ΔD = 1 on the shorter
@@ -308,7 +322,7 @@ mod tests {
         assert!(!sw.propagate());
         sw.token_arrives(2);
         assert!(sw.propagate());
-        assert_eq!(sw.gt(), 1);
+        assert_eq!(sw.gt(), Gt::from_ticks(1));
         // All counters consumed.
         assert!((0..3).all(|p| sw.tokens_pending(p) == 0));
         assert!(!sw.has_pending_tokens());
@@ -362,12 +376,27 @@ mod tests {
         assert_eq!(sw.pop_sendable(0), Some((0, 7)));
         assert!(sw.can_propagate(), "draining the copy unblocks propagation");
         assert!(sw.propagate());
-        assert_eq!(sw.gt(), 2);
+        assert_eq!(sw.gt(), Gt::from_ticks(2));
     }
 
     #[test]
     #[should_panic(expected = "at least one input")]
     fn rejects_zero_ports() {
         let _: SwitchCore<()> = SwitchCore::new(0, 1);
+    }
+
+    /// A core seeded one tick before the era rollover propagates straight
+    /// across it: the new GT is *greater* under the wrapping order even
+    /// though its raw tick field reset to zero.
+    #[test]
+    fn guarantee_time_crosses_the_era_boundary() {
+        let origin = Gt::from_parts(0, Gt::TICK_MASK);
+        let mut sw: SwitchCore<()> = SwitchCore::starting_at(1, 1, origin);
+        sw.token_arrives(0);
+        assert!(sw.propagate());
+        assert_eq!(sw.gt(), Gt::from_parts(1, 0));
+        assert!(sw.gt() > origin);
+        sw.advance_gt(5);
+        assert_eq!(sw.gt(), Gt::from_parts(1, 5));
     }
 }

@@ -1,5 +1,15 @@
 //! Shared protocol vocabulary: blocks, CPU operations, address
 //! transactions, point-to-point messages and the [`Protocol`] interface.
+//!
+//! # Ordering and guarantee time
+//!
+//! Protocol engines never see a guarantee time or ordering time directly:
+//! the address network tracks both as the wraparound-safe packed
+//! [`tss_sim::Gt`] type and delivers snooped transactions to the engine
+//! *already in the logical total order* (see [`ProtoEvent::Snooped`]).
+//! Engines therefore only reason about physical [`Time`] — which is why
+//! none of the types below carry a raw GT/OT word, and why the engine
+//! layer is immune to era rollover by construction.
 
 use tss_net::{MsgClass, NodeId};
 use tss_sim::{Duration, Time};
@@ -305,7 +315,11 @@ pub enum ProtoAction {
 pub enum ProtoEvent {
     /// An address transaction reached its place in the logical total order
     /// at `dest` (snooping). `arrival` is the physical arrival time, used
-    /// by the §3 prefetch optimisation.
+    /// by the §3 prefetch optimisation. The position itself is determined
+    /// by the network layer's [`tss_sim::Gt`] ordering time (wrapping
+    /// comparison; see `tss_sim::Gt`) and is consumed there — engines
+    /// receive transactions strictly in that order and never compare
+    /// ordering times themselves.
     Snooped {
         /// The endpoint processing the transaction.
         dest: NodeId,

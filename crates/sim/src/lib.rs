@@ -4,6 +4,9 @@
 //! the workspace:
 //!
 //! * [`Time`] — a nanosecond-resolution simulated clock value,
+//! * [`Gt`] — the packed, wraparound-safe guarantee-time counter every
+//!   GT/OT comparison in the workspace goes through (with [`GtKey`] as
+//!   its tiebroken ordering key),
 //! * [`EventQueue`] — a deterministic calendar queue (ties broken in FIFO
 //!   insertion order, so simulations are exactly reproducible),
 //! * [`rng`] — seeded random-number helpers shared by workload generators and
@@ -37,4 +40,4 @@ pub mod stats;
 mod time;
 
 pub use queue::EventQueue;
-pub use time::{Duration, Time};
+pub use time::{Duration, Gt, GtKey, Time};

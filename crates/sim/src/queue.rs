@@ -11,7 +11,17 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use crate::Time;
+use crate::{Gt, GtKey, Time};
+
+/// An instant viewed as a wrapping-ordered counter: every comparison of
+/// calendar instants goes through [`Gt`]'s signed-wrapping rule, so the
+/// window arithmetic keeps working when simulated time crosses the `u64`
+/// boundary (instants in flight are always within [`SPAN`] + one event
+/// horizon of `now`, far inside the 2^63 comparison window).
+#[inline]
+fn ord(t: Time) -> Gt {
+    Gt::from_raw(t.as_ns())
+}
 
 /// Width of the in-window calendar in nanoseconds/buckets. Events within
 /// `[now, now + SPAN)` take the O(1) bucket path; later ones wait in the
@@ -54,9 +64,11 @@ pub struct EventQueue<E> {
     ring: Vec<VecDeque<E>>,
     /// Bitmap of non-empty buckets (one bit per bucket).
     occupied: Vec<u64>,
-    /// Events at or beyond `base + SPAN`, ordered by `(time, seq)`.
+    /// Events at or beyond `base + SPAN`, ordered by their [`GtKey`]
+    /// (wrapping-safe instant, then scheduling sequence).
     overflow: BinaryHeap<Reverse<Overflow<E>>>,
-    /// Absolute time (ns) of `ring[0]`.
+    /// Absolute time (ns) of `ring[0]`; wraps through `u64::MAX` on
+    /// unbounded runs — all offsets from it use wrapping subtraction.
     base: u64,
     /// Index of the earliest non-empty bucket (valid while `ring_len > 0`).
     cursor: usize,
@@ -71,14 +83,24 @@ pub struct EventQueue<E> {
 
 #[derive(Debug)]
 struct Overflow<E> {
-    at: u64,
-    seq: u64,
+    /// Instant (as a wrapping-ordered [`Gt`]) plus the scheduling
+    /// sequence number as the raw tiebreak — the old `(at, seq)` tuple
+    /// order, made wraparound-safe.
+    key: GtKey,
     event: E,
+}
+
+impl<E> Overflow<E> {
+    /// The absolute instant in nanoseconds.
+    #[inline]
+    fn at(&self) -> u64 {
+        self.key.gt().as_raw()
+    }
 }
 
 impl<E> PartialEq for Overflow<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Overflow<E> {}
@@ -89,23 +111,38 @@ impl<E> PartialOrd for Overflow<E> {
 }
 impl<E> Ord for Overflow<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key.cmp(&other.key)
     }
 }
+
+// The calendar event pin: an overflow entry must stay two words of key
+// plus the payload (see the `size-pins` CI check).
+const _: () = assert!(
+    std::mem::size_of::<Overflow<()>>() <= 16,
+    "calendar overflow event grew past 2 words"
+);
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at [`Time::ZERO`].
     pub fn new() -> Self {
+        Self::starting_at(Time::ZERO)
+    }
+
+    /// Creates an empty queue whose clock starts at `start` — the way to
+    /// begin a run near (or straddling) the `u64` boundary, since from a
+    /// zero-origin queue such instants would lie in the past under the
+    /// wrapping comparison rule.
+    pub fn starting_at(start: Time) -> Self {
         EventQueue {
             ring: (0..SPAN).map(|_| VecDeque::new()).collect(),
             occupied: vec![0; SPAN / 64],
             overflow: BinaryHeap::new(),
-            base: 0,
+            base: start.as_ns(),
             cursor: 0,
             ring_len: 0,
             next_at: None,
             seq: 0,
-            now: Time::ZERO,
+            now: start,
             popped: 0,
         }
     }
@@ -131,13 +168,12 @@ impl<E> EventQueue<E> {
                 // buckets are FIFO by construction and don't need it.
                 self.seq += 1;
                 self.overflow.push(Reverse(Overflow {
-                    at: at.as_ns(),
-                    seq: self.seq,
+                    key: GtKey::new(ord(at), self.seq),
                     event,
                 }));
             }
         }
-        if self.next_at.is_none_or(|n| at < n) {
+        if self.next_at.is_none_or(|n| ord(at) < ord(n)) {
             self.next_at = Some(at);
         }
     }
@@ -149,12 +185,14 @@ impl<E> EventQueue<E> {
     #[inline]
     fn window_index(&mut self, at: Time) -> Option<usize> {
         assert!(
-            at >= self.now,
+            ord(at) >= ord(self.now),
             "event scheduled in the past ({at:?} < now {:?})",
             self.now
         );
         let t = at.as_ns();
-        if self.ring_len == 0 && t.saturating_sub(self.base) >= SPAN as u64 {
+        // `base <= now <= at` in wrapping order, so this offset is the
+        // true logical distance even when the window straddles u64::MAX.
+        if self.ring_len == 0 && t.wrapping_sub(self.base) >= SPAN as u64 {
             // The window is exhausted and `at` falls outside it. Re-anchor
             // at `now`: every future schedule is >= now, so indices can
             // never underflow, and migration keeps the overflow invariant
@@ -194,7 +232,7 @@ impl<E> EventQueue<E> {
                 }
                 self.occupied[i / 64] |= 1 << (i % 64);
                 self.ring_len += added;
-                if self.next_at.is_none_or(|n| at < n) {
+                if self.next_at.is_none_or(|n| ord(at) < ord(n)) {
                     self.next_at = Some(at);
                 }
             }
@@ -218,7 +256,10 @@ impl<E> EventQueue<E> {
         let bucket = &mut self.ring[self.cursor];
         let event = bucket.pop_front().expect("cursor valid");
         self.ring_len -= 1;
-        debug_assert!(at >= self.now && at == Time::from_ns(self.base + self.cursor as u64));
+        debug_assert!(
+            ord(at) >= ord(self.now)
+                && at == Time::from_ns(self.base.wrapping_add(self.cursor as u64))
+        );
         self.now = at;
         self.popped += 1;
         if bucket.is_empty() {
@@ -242,12 +283,12 @@ impl<E> EventQueue<E> {
     /// needs to inspect the head of the calendar.
     pub fn peek_at(&self) -> Option<(Time, &E)> {
         if self.ring_len > 0 {
-            let t = Time::from_ns(self.base + self.cursor as u64);
+            let t = Time::from_ns(self.base.wrapping_add(self.cursor as u64));
             return self.ring[self.cursor].front().map(|e| (t, e));
         }
         self.overflow
             .peek()
-            .map(|Reverse(o)| (Time::from_ns(o.at), &o.event))
+            .map(|Reverse(o)| (Time::from_ns(o.at()), &o.event))
     }
 
     /// `Some(t)` when **every** pending event is scheduled for the single
@@ -260,7 +301,7 @@ impl<E> EventQueue<E> {
             && self.overflow.is_empty()
             && self.ring[self.cursor].len() == self.ring_len
         {
-            return Some(Time::from_ns(self.base + self.cursor as u64));
+            return Some(Time::from_ns(self.base.wrapping_add(self.cursor as u64)));
         }
         None
     }
@@ -288,12 +329,12 @@ impl<E> EventQueue<E> {
         let Some(t) = self.single_instant() else {
             return false;
         };
-        if new_at <= t {
+        if ord(new_at) <= ord(t) {
             return false;
         }
         let old = self.cursor;
         self.occupied[old / 64] &= !(1 << (old % 64));
-        let offset = new_at.as_ns() - self.base;
+        let offset = new_at.as_ns().wrapping_sub(self.base);
         if offset < SPAN as u64 {
             // Common case: swap the whole bucket to the later slot.
             let i = offset as usize;
@@ -312,8 +353,7 @@ impl<E> EventQueue<E> {
             for event in bucket.drain(..) {
                 self.seq += 1;
                 self.overflow.push(Reverse(Overflow {
-                    at: new_at.as_ns(),
-                    seq: self.seq,
+                    key: GtKey::new(ord(new_at), self.seq),
                     event,
                 }));
             }
@@ -353,14 +393,17 @@ impl<E> EventQueue<E> {
         debug_assert_eq!(self.ring_len, 0, "rebase with live ring entries");
         self.base = new_base;
         self.cursor = 0;
-        let horizon = new_base + SPAN as u64;
         while let Some(Reverse(top)) = self.overflow.peek() {
-            if top.at >= horizon {
+            // Wrapping distance from the new anchor: entries past the
+            // horizon stay in the heap (an in-window entry is always
+            // within SPAN, far under the 2^63 wrapping window).
+            if top.at().wrapping_sub(new_base) >= SPAN as u64 {
                 break;
             }
             let Reverse(o) = self.overflow.pop().expect("peeked");
-            debug_assert!(o.at >= new_base, "overflow event precedes the window");
-            let i = (o.at - new_base) as usize;
+            let offset = o.at().wrapping_sub(new_base);
+            debug_assert!(offset as i64 >= 0, "overflow event precedes the window");
+            let i = offset as usize;
             if self.ring_len == 0 || i < self.cursor {
                 self.cursor = i;
             }
@@ -382,9 +425,9 @@ impl<E> EventQueue<E> {
                 bits = self.occupied[word];
             }
             self.cursor = word * 64 + bits.trailing_zeros() as usize;
-            self.next_at = Some(Time::from_ns(self.base + self.cursor as u64));
+            self.next_at = Some(Time::from_ns(self.base.wrapping_add(self.cursor as u64)));
         } else {
-            self.next_at = self.overflow.peek().map(|Reverse(o)| Time::from_ns(o.at));
+            self.next_at = self.overflow.peek().map(|Reverse(o)| Time::from_ns(o.at()));
         }
     }
 }
@@ -489,7 +532,8 @@ mod tests {
     }
 
     /// A reference model: the binary-heap calendar this queue replaced.
-    /// `(time, seq)`-ordered pops are the specification.
+    /// `(time, seq)`-ordered pops — via the wrapping [`GtKey`] rank — are
+    /// the specification.
     struct Reference<E> {
         heap: BinaryHeap<Reverse<Overflow<E>>>,
         seq: u64,
@@ -504,8 +548,7 @@ mod tests {
         }
         fn schedule(&mut self, at: Time, event: E) {
             self.heap.push(Reverse(Overflow {
-                at: at.as_ns(),
-                seq: self.seq,
+                key: GtKey::new(ord(at), self.seq),
                 event,
             }));
             self.seq += 1;
@@ -513,7 +556,7 @@ mod tests {
         fn pop(&mut self) -> Option<(Time, E)> {
             self.heap
                 .pop()
-                .map(|Reverse(o)| (Time::from_ns(o.at), o.event))
+                .map(|Reverse(o)| (Time::from_ns(o.at()), o.event))
         }
     }
 
@@ -555,7 +598,7 @@ mod tests {
                 assert_eq!(q.len(), r.heap.len(), "case {case}: length diverged");
                 assert_eq!(
                     q.peek_time(),
-                    r.heap.peek().map(|Reverse(o)| Time::from_ns(o.at))
+                    r.heap.peek().map(|Reverse(o)| Time::from_ns(o.at()))
                 );
             }
             // Drain completely; the tail must agree too.
@@ -624,6 +667,70 @@ mod tests {
         q.schedule(Time::from_ns(50), 'a');
         q.schedule(Time::from_ns(60), 'b');
         assert!(!q.reschedule_head_instant(Time::from_ns(70)));
+    }
+
+    /// The reference-model property again, with the whole run straddling
+    /// the `u64` boundary: a queue anchored just below `u64::MAX` must
+    /// schedule, migrate and pop through the wraparound exactly like the
+    /// wrapping-keyed reference heap (seeded loops, repo convention).
+    #[test]
+    fn matches_reference_heap_across_the_u64_boundary() {
+        for case in 0..20u64 {
+            let start = Time::from_ns(u64::MAX - 1 - (case * 977) % 5_000);
+            let mut rng = SimRng::from_seed_and_stream(case, 0x0E4A);
+            let mut q = EventQueue::starting_at(start);
+            let mut r = Reference::new();
+            let mut now = start.as_ns();
+            let mut id = 0u32;
+            for _ in 0..300 {
+                for _ in 0..1 + rng.gen_range(0..3) {
+                    let delta = match rng.gen_range(0..8) {
+                        0 => 0, // same-instant tie
+                        1..=5 => rng.gen_range(0..200),
+                        _ => rng.gen_range(0..3 * SPAN as u64),
+                    };
+                    let at = Time::from_ns(now.wrapping_add(delta));
+                    q.schedule(at, id);
+                    r.schedule(at, id);
+                    id += 1;
+                }
+                for _ in 0..rng.gen_range(0..3) {
+                    let got = q.pop();
+                    assert_eq!(got, r.pop(), "case {case}: pop diverged at wrap");
+                    if let Some((t, _)) = got {
+                        now = t.as_ns();
+                    }
+                }
+            }
+            loop {
+                let (got, want) = (q.pop(), r.pop());
+                assert_eq!(got, want, "case {case}: drain diverged at wrap");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// FIFO-within-instant holds while the window crosses `u64::MAX`:
+    /// same-instant events on both sides of the boundary pop in
+    /// scheduling order, and the clock keeps advancing in wrapping order.
+    #[test]
+    fn fifo_within_instant_straddles_wraparound() {
+        let start = Time::from_ns(u64::MAX - 5);
+        let mut q = EventQueue::starting_at(start);
+        let after = Time::from_ns(3); // 9 ns later, across the boundary
+        q.schedule(after, 'c');
+        q.schedule(start, 'a');
+        q.schedule(after, 'd');
+        q.schedule(start, 'b');
+        assert_eq!(q.peek_time(), Some(start));
+        assert_eq!(q.pop(), Some((start, 'a')));
+        assert_eq!(q.pop(), Some((start, 'b')));
+        assert_eq!(q.pop(), Some((after, 'c')));
+        assert_eq!(q.pop(), Some((after, 'd')));
+        assert_eq!(q.now(), after);
+        assert!(q.pop().is_none());
     }
 
     /// FIFO-within-instant, checked directly: many events on few instants,

@@ -1,5 +1,6 @@
-//! Simulated time.
+//! Simulated time and the packed guarantee-time type.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub};
@@ -46,24 +47,28 @@ impl Time {
 
     /// The duration from `earlier` to `self`.
     ///
+    /// Wraparound-safe: computed by wrapping subtraction and validated by
+    /// the sign of the delta, so instants on either side of the `u64`
+    /// boundary still yield the true span as long as it is under 2^63 ns
+    /// (the same comparison window [`Gt`] uses).
+    ///
     /// # Panics
     ///
     /// Panics if `earlier` is later than `self`; simulated causality never
     /// runs backwards.
     #[inline]
     pub fn since(self, earlier: Time) -> Duration {
-        Duration(
-            self.0
-                .checked_sub(earlier.0)
-                .expect("`since` called with a later time"),
-        )
+        let delta = self.0.wrapping_sub(earlier.0);
+        assert!(delta as i64 >= 0, "`since` called with a later time");
+        Duration(delta)
     }
 
     /// Saturating version of [`Time::since`], returning zero when `earlier`
-    /// is in the future.
+    /// is in the future (by the same signed-wrapping-delta rule).
     #[inline]
     pub fn saturating_since(self, earlier: Time) -> Duration {
-        Duration(self.0.saturating_sub(earlier.0))
+        let delta = self.0.wrapping_sub(earlier.0);
+        Duration(if delta as i64 >= 0 { delta } else { 0 })
     }
 }
 
@@ -110,16 +115,20 @@ impl serde::Deserialize for Time {
 
 impl Add<Duration> for Time {
     type Output = Time;
+    /// Wrapping: an instant near the top of the `u64` range advances
+    /// through the boundary instead of overflowing, so unbounded-duration
+    /// runs stay panic-free (ordering across the boundary is handled by
+    /// the wrapping comparisons in [`Gt`] and the event calendar).
     #[inline]
     fn add(self, rhs: Duration) -> Time {
-        Time(self.0 + rhs.0)
+        Time(self.0.wrapping_add(rhs.0))
     }
 }
 
 impl AddAssign<Duration> for Time {
     #[inline]
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        self.0 = self.0.wrapping_add(rhs.0);
     }
 }
 
@@ -163,6 +172,258 @@ impl Sum for Duration {
         Duration(iter.map(|d| d.0).sum())
     }
 }
+
+/// A packed, wraparound-safe guarantee/ordering time: the one type every
+/// GT/OT counter and comparison in the workspace goes through.
+///
+/// # Bit layout
+///
+/// ```text
+///  63            48 47                             0
+/// +----------------+-------------------------------+
+/// |   era (16 b)   |           tick (48 b)         |
+/// +----------------+-------------------------------+
+/// ```
+///
+/// The value is one monotonically increasing `u64` counter; the *era* is
+/// simply its high 16 bits, incrementing automatically each time the
+/// 48-bit tick field rolls over. Nothing maintains the era out of band —
+/// packing it into the same word is what makes the comparison below work
+/// (the MICA `CompactTimestamp` construction).
+///
+/// # Comparison rule
+///
+/// `Ord` is **not** the derived integer order: two values compare by the
+/// *sign of their wrapping difference* (`wrapping_sub` cast to `i64`), so
+/// ordering survives the counter wrapping through `u64::MAX` and back to
+/// zero. The contract: any two values being compared must be within
+/// 2^63 ticks of each other — trivially true for live GTs, which a
+/// simulation only ever compares against near-contemporary GTs. Within
+/// that window the rule agrees exactly with plain integer comparison, so
+/// adopting `Gt` is observably invisible until a counter actually wraps.
+///
+/// ```
+/// use tss_sim::Gt;
+/// let near_max = Gt::from_raw(u64::MAX - 1);
+/// let wrapped = near_max.wrapping_add(3); // crossed the boundary
+/// assert!(near_max < wrapped);
+/// assert_eq!(wrapped.delta_since(near_max), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gt(u64);
+
+impl Gt {
+    /// Width of the tick field.
+    pub const TICK_BITS: u32 = 48;
+    /// Mask of the tick field (also the largest representable tick).
+    pub const TICK_MASK: u64 = (1 << Gt::TICK_BITS) - 1;
+
+    /// Tick zero of era zero.
+    pub const ZERO: Gt = Gt(0);
+
+    /// Wraps a raw packed value (the serialized form).
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Gt {
+        Gt(raw)
+    }
+
+    /// The raw packed value.
+    #[inline]
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// A guarantee time `ticks` ticks from the zero of era zero. Ticks
+    /// beyond 2^48 carry into the era field — the continuation of the
+    /// same counter, not an error.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Gt {
+        Gt(ticks)
+    }
+
+    /// Assembles a value from its fields (tests and fixtures).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `tick` overflows its 48-bit field.
+    #[inline]
+    pub const fn from_parts(era: u16, tick: u64) -> Gt {
+        debug_assert!(tick <= Gt::TICK_MASK, "tick overflows its 48-bit field");
+        Gt(((era as u64) << Gt::TICK_BITS) | (tick & Gt::TICK_MASK))
+    }
+
+    /// The era: the counter's high 16 bits.
+    #[inline]
+    pub const fn era(self) -> u16 {
+        (self.0 >> Gt::TICK_BITS) as u16
+    }
+
+    /// The tick within the era: the counter's low 48 bits.
+    #[inline]
+    pub const fn tick(self) -> u64 {
+        self.0 & Gt::TICK_MASK
+    }
+
+    /// This value advanced by `ticks`, wrapping through the boundary.
+    #[inline]
+    #[must_use]
+    pub const fn wrapping_add(self, ticks: u64) -> Gt {
+        Gt(self.0.wrapping_add(ticks))
+    }
+
+    /// The immediately following guarantee time (one tick later).
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Gt {
+        self.wrapping_add(1)
+    }
+
+    /// Ticks elapsed from `earlier` to `self`, wraparound-safe.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `earlier` is actually later (by the wrapping
+    /// comparison rule) — causality inverted.
+    #[inline]
+    pub fn delta_since(self, earlier: Gt) -> u64 {
+        let delta = self.0.wrapping_sub(earlier.0);
+        debug_assert!(delta as i64 >= 0, "`delta_since` called with a later Gt");
+        delta
+    }
+}
+
+impl PartialOrd for Gt {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Gt {
+    /// The wraparound-safe rule: sign of the wrapping difference. See the
+    /// type docs for the 2^63-window contract.
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.0.wrapping_sub(other.0) as i64).cmp(&0)
+    }
+}
+
+impl serde::Serialize for Gt {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::U64(self.0)
+    }
+}
+
+impl serde::Deserialize for Gt {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        <u64 as serde::Deserialize>::from_value(v).map(Gt)
+    }
+}
+
+impl fmt::Debug for Gt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gt={}:{}", self.era(), self.tick())
+    }
+}
+
+impl fmt::Display for Gt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "era {} tick {}", self.era(), self.tick())
+    }
+}
+
+/// A total-order key for events ranked by guarantee time: a [`Gt`] plus a
+/// packed tiebreak word, in one 16-byte value.
+///
+/// Replaces the ad-hoc `(u64 ot, u16 src, u64 seq)` tuples the reorder
+/// and merge queues used to sort by: the primary comparison goes through
+/// [`Gt`]'s wraparound-safe rule, the tiebreak (`src` in the high 16
+/// bits, `seq` in the low 48, or a raw sequence number) compares as a
+/// plain integer — identical to the old lexicographic tuple order while
+/// sequence numbers stay below 2^48, which [`GtKey::with_src_seq`]
+/// debug-asserts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GtKey {
+    gt: Gt,
+    sub: u64,
+}
+
+impl GtKey {
+    /// A key ordered by `gt` then a raw tiebreak word (full 64 bits; the
+    /// calendar's overflow heap uses its scheduling counter here).
+    #[inline]
+    pub const fn new(gt: Gt, sub: u64) -> GtKey {
+        GtKey { gt, sub }
+    }
+
+    /// A key ordered by `gt`, then source node, then per-source sequence
+    /// number — the endpoint reorder/merge rank of §2.2.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `seq` overflows its 48-bit field.
+    #[inline]
+    pub const fn with_src_seq(gt: Gt, src: u16, seq: u64) -> GtKey {
+        debug_assert!(seq <= Gt::TICK_MASK, "seq overflows its 48-bit field");
+        GtKey {
+            gt,
+            sub: ((src as u64) << Gt::TICK_BITS) | (seq & Gt::TICK_MASK),
+        }
+    }
+
+    /// The guarantee-time rank.
+    #[inline]
+    pub const fn gt(self) -> Gt {
+        self.gt
+    }
+
+    /// The raw tiebreak word.
+    #[inline]
+    pub const fn sub(self) -> u64 {
+        self.sub
+    }
+
+    /// The source-node tiebreak (packed keys only).
+    #[inline]
+    pub const fn src(self) -> u16 {
+        (self.sub >> Gt::TICK_BITS) as u16
+    }
+
+    /// The per-source sequence tiebreak (packed keys only).
+    #[inline]
+    pub const fn seq(self) -> u64 {
+        self.sub & Gt::TICK_MASK
+    }
+}
+
+impl PartialOrd for GtKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GtKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gt.cmp(&other.gt).then(self.sub.cmp(&other.sub))
+    }
+}
+
+impl fmt::Debug for GtKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key={:?}+{:#x}", self.gt, self.sub)
+    }
+}
+
+// The packing is the point: growing either type taxes every reorder
+// queue, merge heap and calendar event in the workspace (see the
+// `size-pins` CI check).
+const _: () = assert!(std::mem::size_of::<Gt>() == 8, "Gt must stay one word");
+const _: () = assert!(
+    std::mem::size_of::<GtKey>() == 16,
+    "GtKey grew past 2 words"
+);
 
 impl fmt::Debug for Time {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -232,5 +493,59 @@ mod tests {
     fn duration_sum() {
         let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_ns(n)).sum();
         assert_eq!(total, Duration::from_ns(6));
+    }
+
+    #[test]
+    fn time_arithmetic_wraps_through_the_boundary() {
+        let near_max = Time::from_ns(u64::MAX - 2);
+        let wrapped = near_max + Duration::from_ns(5);
+        assert_eq!(wrapped, Time::from_ns(2));
+        assert_eq!(wrapped.since(near_max), Duration::from_ns(5));
+        assert_eq!(wrapped.saturating_since(near_max), Duration::from_ns(5));
+        assert_eq!(near_max.saturating_since(wrapped), Duration::ZERO);
+    }
+
+    #[test]
+    fn gt_packs_and_unpacks() {
+        let g = Gt::from_parts(3, 0x1234_5678_9ABC);
+        assert_eq!(g.era(), 3);
+        assert_eq!(g.tick(), 0x1234_5678_9ABC);
+        assert_eq!(Gt::from_raw(g.as_raw()), g);
+        // from_ticks carries into the era automatically.
+        let rolled = Gt::from_ticks((1 << 48) + 7);
+        assert_eq!(rolled.era(), 1);
+        assert_eq!(rolled.tick(), 7);
+        assert_eq!(format!("{rolled:?}"), "gt=1:7");
+    }
+
+    #[test]
+    fn gt_orders_across_era_and_u64_boundaries() {
+        // Era boundary: tick rollover increments the era; order holds.
+        let before = Gt::from_parts(0, Gt::TICK_MASK);
+        let after = before.next();
+        assert_eq!(after, Gt::from_parts(1, 0));
+        assert!(before < after);
+        // u64 boundary: the counter wraps entirely; order still holds.
+        let hi = Gt::from_raw(u64::MAX - 1);
+        let lo = hi.wrapping_add(4);
+        assert!(hi < lo, "wrapped value must compare later");
+        assert_eq!(lo.delta_since(hi), 4);
+        // Within the window, the rule agrees with plain integer order.
+        assert!(Gt::from_ticks(10) < Gt::from_ticks(11));
+        assert_eq!(Gt::from_ticks(10).cmp(&Gt::from_ticks(10)), Ordering::Equal);
+    }
+
+    #[test]
+    fn gt_key_matches_the_old_tuple_order() {
+        let key = |ot: u64, src: u16, seq: u64| GtKey::with_src_seq(Gt::from_ticks(ot), src, seq);
+        // Ranked by OT, then source, then sequence — the reorder rank.
+        assert!(key(5, 9, 9) < key(6, 0, 0));
+        assert!(key(5, 1, 9) < key(5, 2, 0));
+        assert!(key(5, 1, 3) < key(5, 1, 4));
+        assert_eq!(key(5, 1, 3), key(5, 1, 3));
+        let k = key(7, 3, 12);
+        assert_eq!((k.gt(), k.src(), k.seq()), (Gt::from_ticks(7), 3, 12));
+        // Raw-sub keys order by the full 64-bit word.
+        assert!(GtKey::new(Gt::ZERO, u64::MAX) < GtKey::new(Gt::from_ticks(1), 0));
     }
 }

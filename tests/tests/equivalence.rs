@@ -12,7 +12,7 @@ use std::sync::Arc;
 use tss::address_net::{AddrDelivery, AddressNet, DetailedAddressNet, FastAddressNet};
 use tss_net::{DetailedNet, DetailedNetConfig, Fabric, FastOrderedNet, NodeId, OrderedNetTiming};
 use tss_sim::rng::SimRng;
-use tss_sim::{Duration, Time};
+use tss_sim::{Duration, Gt, Time};
 
 /// Per-endpoint (payload, processed_at) delivery sequences.
 type EndpointLogs = Vec<Vec<(u32, u64)>>;
@@ -49,6 +49,7 @@ fn run_both(
             link_occupancy: Duration::ZERO,
             initial_slack: slack,
             plane: 0,
+            gt_origin: Gt::ZERO,
         },
     );
     for &(t, src, payload) in injections {
@@ -129,6 +130,7 @@ fn detailed_net_survives_contention_where_fast_cannot_model_it() {
             link_occupancy: Duration::from_ns(30),
             initial_slack: 1,
             plane: 0,
+            gt_origin: Gt::ZERO,
         },
     );
     let injections = schedule(7, 16, 60);
@@ -187,13 +189,29 @@ fn run_address_net(
 /// batch rule (an endpoint closes tick X only when the token advancing
 /// its GT past X arrives).
 fn check_address_net_equivalence(fabric: impl Fn() -> Fabric, slack: u64, seed: u64) {
+    check_address_net_equivalence_from(fabric, slack, seed, Gt::ZERO);
+}
+
+/// Same as [`check_address_net_equivalence`], with every guarantee-time
+/// counter seeded at `origin` — instants are origin-relative, so the logs
+/// must be identical for any origin, including ones that roll the era
+/// over mid-run.
+fn check_address_net_equivalence_from(
+    fabric: impl Fn() -> Fabric,
+    slack: u64,
+    seed: u64,
+    origin: Gt,
+) {
     let n = fabric().num_nodes();
     let injections = schedule(seed, n, 40);
     let link = Duration::from_ns(15);
 
     let mut fast = FastAddressNet::new(
         Arc::new(fabric()),
-        OrderedNetTiming::uniform(link, slack + 1),
+        OrderedNetTiming {
+            gt_origin: origin,
+            ..OrderedNetTiming::uniform(link, slack + 1)
+        },
     );
     let mut detailed = DetailedAddressNet::new(
         Arc::new(fabric()),
@@ -202,6 +220,7 @@ fn check_address_net_equivalence(fabric: impl Fn() -> Fabric, slack: u64, seed: 
             link_occupancy: Duration::ZERO,
             initial_slack: slack,
             plane: 0, // the adapter drives every plane
+            gt_origin: origin,
         },
         64,
     );
@@ -233,6 +252,17 @@ fn address_net_unloaded_instants_match_fast_model() {
     }
     check_address_net_equivalence(|| Fabric::butterfly(4, 2, 1), 0, 9);
     check_address_net_equivalence(|| Fabric::torus(4, 2), 5, 10);
+}
+
+#[test]
+fn address_net_equivalence_survives_era_rollover() {
+    // Seed every GT counter a couple of ticks below the 48-bit era edge:
+    // all ordering times wrap into era 1 mid-run, and both models must
+    // still land on the closed-form instants (which are origin-relative
+    // by construction).
+    let origin = Gt::from_parts(0, Gt::TICK_MASK - 2);
+    check_address_net_equivalence_from(Fabric::torus4x4, 2, 0, origin);
+    check_address_net_equivalence_from(Fabric::butterfly16, 2, 1, origin);
 }
 
 #[test]

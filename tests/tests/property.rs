@@ -11,7 +11,7 @@ use tss::{ProtocolKind, System, TopologyKind};
 use tss_net::{DetailedNet, DetailedNetConfig, Fabric, NodeId};
 use tss_proto::{Block, CpuOp};
 use tss_sim::rng::SimRng;
-use tss_sim::{Duration, Time};
+use tss_sim::{Duration, Gt, Time};
 use tss_workloads::TraceItem;
 
 /// Any valid fabric: random butterflies and tori, capped to keep runs fast.
@@ -84,6 +84,40 @@ fn distances_are_metric() {
     }
 }
 
+/// `Gt` pack/unpack round-trips for arbitrary era/tick pairs, and the
+/// wrapping comparison is a total order (antisymmetric, transitive) on
+/// random triples clustered near an era boundary — the regime where a
+/// plain `u64` compare inverts.
+#[test]
+fn gt_packing_and_order_survive_era_boundaries() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::from_seed_and_stream(case, 0x67);
+
+        // Round trip: era/tick in, same era/tick out, raw form stable.
+        let era = rng.gen_range(0..1 + u16::MAX as u64) as u16;
+        let tick = rng.gen_range(0..1 + Gt::TICK_MASK);
+        let g = Gt::from_parts(era, tick);
+        assert_eq!(g.era(), era, "case {case}");
+        assert_eq!(g.tick(), tick, "case {case}");
+        assert_eq!(Gt::from_raw(g.as_raw()), g, "case {case}");
+
+        // A triple drawn from a window straddling the era-`edge` rollover
+        // (well within the ±2^63 comparison horizon).
+        let edge = Gt::from_parts(rng.gen_range(0..1 + u16::MAX as u64) as u16, Gt::TICK_MASK);
+        let pick = |rng: &mut SimRng| edge.wrapping_add(rng.gen_range(0..4096));
+        let (a, b, c) = (pick(&mut rng), pick(&mut rng), pick(&mut rng));
+        assert_eq!(a < b, b > a, "case {case}: antisymmetry");
+        assert_eq!(a == b, a >= b && b >= a, "case {case}: trichotomy");
+        if a <= b && b <= c {
+            assert!(a <= c, "case {case}: transitivity {a} {b} {c}");
+        }
+        // Within the window the wrapping order agrees with arithmetic
+        // distance from the edge, even though raw values wrapped.
+        let dist = |g: Gt| g.delta_since(edge);
+        assert_eq!(a < b, dist(a) < dist(b), "case {case}");
+    }
+}
+
 /// The detailed token network establishes one total order at every
 /// endpoint, for any injection schedule, slack and (mild) contention.
 /// (Its internal assertions additionally verify the OT bookkeeping on
@@ -108,6 +142,13 @@ fn token_network_total_order() {
                 link_occupancy: Duration::from_ns(occupancy),
                 initial_slack: slack,
                 plane: 0,
+                // Half the cases start just below the era rollover: the
+                // total order must be identical to a zero-origin run.
+                gt_origin: if case % 2 == 0 {
+                    Gt::ZERO
+                } else {
+                    Gt::from_parts(0, Gt::TICK_MASK - rng.gen_range(0..64))
+                },
             },
         );
         for (i, &(t, src)) in schedule.iter().enumerate() {
