@@ -1,0 +1,71 @@
+//! `cellstore` — maintenance for the content-addressed cell store that
+//! `--resume` and the sweep-server share.
+//!
+//! ```sh
+//! cellstore gc /var/cells           # classify entries, sweep tmp orphans
+//! cellstore gc --purge /var/cells   # also delete stale + corrupt entries
+//! ```
+//!
+//! `gc` always removes orphaned temp files (writers that died between
+//! write and rename); `--purge` additionally deletes entries another
+//! `CELL_REV` wrote (stale — expected after a result-changing upgrade)
+//! and entries that do not parse (corrupt — never expected). Live
+//! entries and foreign files are never touched.
+
+use tss::CellStore;
+
+const USAGE: &str = "\
+usage: cellstore gc [--purge] <dir>
+  gc       classify the store's entries (live / stale / corrupt) and
+           sweep orphaned temp files; with --purge, also delete the
+           stale and corrupt entries
+  --purge  delete what gc merely reports
+  --help   print this message";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let Some(("gc", rest)) = args.split_first().map(|(c, r)| (c.as_str(), r)) else {
+        fail("the only subcommand is gc");
+    };
+    let mut purge = false;
+    let mut dir: Option<&str> = None;
+    for arg in rest {
+        match arg.as_str() {
+            "--purge" => purge = true,
+            other if other.starts_with('-') => fail(&format!("unknown option {other}")),
+            other if dir.is_none() => dir = Some(other),
+            _ => fail("gc takes exactly one <dir>"),
+        }
+    }
+    let Some(dir) = dir else {
+        fail("gc needs the store directory");
+    };
+
+    // `attach`, not `open`: open's convenience temp-sweep would eat the
+    // orphans before gc could count them.
+    let store = CellStore::attach(dir).unwrap_or_else(|e| {
+        eprintln!("error: cannot attach to cell store {dir}: {e}");
+        std::process::exit(1);
+    });
+    match store.gc(purge) {
+        Ok(report) => {
+            println!("{dir}: {report}");
+            if !purge && report.stale + report.corrupt > 0 {
+                println!("rerun with --purge to delete the stale/corrupt entries");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: gc of {dir} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

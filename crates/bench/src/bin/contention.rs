@@ -44,6 +44,7 @@ fn main() {
     // so it is not one round-robin slice of one grid and cannot shard;
     // --resume still works (both sub-grids run through the shared store).
     cli.forbid_shard("contention");
+    cli.forbid_remote("contention");
     let detailed = |occ: u64, slack: u64| NetworkModelSpec::Detailed {
         link_occupancy: Duration::from_ns(occ),
         initial_slack: slack,

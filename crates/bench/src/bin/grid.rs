@@ -10,12 +10,55 @@
 //! cargo run --release -p tss-bench --bin grid -- \
 //!     --protocols ts-snoop,dir-opt --topologies torus:8x8 \
 //!     --workloads oltp,dss --scale 0.005 --json results/big-torus.json
+//!
+//! # The same grid, computed by a sweep-server (byte-identical artifact):
+//! cargo run --release -p tss-bench --bin grid -- \
+//!     --remote http://127.0.0.1:7070 --json results/full.json
 //! ```
 
 use tss_bench::{norm, Cli};
+use tss_server::client::{self, GridRequest};
 
-fn main() {
-    let cli = Cli::parse();
+/// Submits the grid to the sweep-server at `url`, streaming per-cell
+/// progress to stderr, and returns the final report (whose `to_json`
+/// bytes match a local run of the same axes).
+fn run_remote(cli: &Cli, url: &str) -> tss::GridReport {
+    let request = GridRequest {
+        name: "grid".into(),
+        scale: cli.scale,
+        protocols: cli.protocols.clone(),
+        topologies: cli.topologies.clone(),
+        nets: vec![cli.net],
+        workloads: cli.workloads.clone().unwrap_or_default(),
+        seeds: vec![cli.seed],
+        perturbation_ns: cli.perturbation_ns,
+        perturbation_runs: cli.seeds,
+    };
+    eprintln!("submitting grid to {url}...");
+    let mut cached = 0usize;
+    let report = client::run_remote(url, &request, |event| {
+        if event.cached {
+            cached += 1;
+        }
+        eprintln!(
+            "  [{}/{}] cell {} {}{}",
+            event.done,
+            event.total,
+            event.index,
+            &event.key[..event.key.len().min(12)],
+            if event.cached { " (cached)" } else { "" },
+        );
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    // The summary line the CI smoke greps for.
+    eprintln!("remote cells cached: {}/{}", cached, report.cells.len());
+    report
+}
+
+fn run_local(cli: &Cli) -> tss::GridReport {
     let grid = cli.grid("grid");
     eprintln!(
         "running {} cells ({} workloads x {} topologies x {} protocols, seed {}, \
@@ -35,7 +78,15 @@ fn main() {
             cli.shard.0, cli.shard.1, cli.shard.1
         );
     }
-    let report = cli.run_grid(grid);
+    cli.run_grid(grid)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let report = match &cli.remote {
+        Some(url) => run_remote(&cli, url),
+        None => run_local(&cli),
+    };
     if cli.resume.is_some() {
         eprintln!(
             "cell store served {}/{} cells",

@@ -33,14 +33,28 @@ use std::path::PathBuf;
 
 use tss::experiment::ExperimentGrid;
 use tss::{NetworkModelSpec, ProtocolKind, System, TopologyKind};
+use tss_server::client::{self, GridRequest};
+use tss_server::service::{ServerConfig, SweepServer};
 use tss_sim::rng::SimRng;
 use tss_sim::{EventQueue, Time};
 use tss_workloads::paper;
+
+/// Every bench this binary can run, in run order (the `--only` filter's
+/// vocabulary).
+const BENCH_NAMES: [&str; 6] = [
+    "event_queue_micro",
+    "fast_cell_oltp_butterfly",
+    "detailed_cell_oltp_torus",
+    "fig3_fast_grid",
+    "detailed_contention_grid",
+    "remote_fast_grid",
+];
 
 struct Args {
     scale: f64,
     seeds: u64,
     seed: u64,
+    only: Option<Vec<String>>,
     json: PathBuf,
     check: Option<PathBuf>,
     max_ratio: f64,
@@ -51,6 +65,10 @@ options:
   --scale <f>       workload scale factor (default 1/64)
   --seeds <n>       perturbation runs per grid cell (default 3)
   --seed <n>        workload seed (default 0)
+  --only <list>     run only these comma-separated benches (default all;
+                    names: event_queue_micro, fast_cell_oltp_butterfly,
+                    detailed_cell_oltp_torus, fig3_fast_grid,
+                    detailed_contention_grid, remote_fast_grid)
   --json <path>     where to merge the results (default BENCH_hotpath.json)
   --check <path>    compare ns_per_event against this baseline and fail on blow-up
   --max-ratio <f>   blow-up threshold for --check (default 5.0)
@@ -61,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         scale: tss_bench::DEFAULT_SCALE,
         seeds: tss_bench::DEFAULT_SEEDS,
         seed: 0,
+        only: None,
         json: PathBuf::from("BENCH_hotpath.json"),
         check: None,
         max_ratio: 5.0,
@@ -91,6 +110,18 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("bad --seeds {value:?}"))?;
             }
             "--seed" => args.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?,
+            "--only" => {
+                let names: Vec<String> = value.split(',').map(|n| n.trim().to_string()).collect();
+                for name in &names {
+                    if !BENCH_NAMES.contains(&name.as_str()) {
+                        return Err(format!(
+                            "unknown bench {name:?} (names: {})",
+                            BENCH_NAMES.join(", ")
+                        ));
+                    }
+                }
+                args.only = Some(names);
+            }
             "--json" => args.json = PathBuf::from(value),
             "--check" => args.check = Some(PathBuf::from(value)),
             "--max-ratio" => {
@@ -240,6 +271,51 @@ fn grid_bench(name: &'static str, args: &Args, net: NetworkModelSpec) -> Measure
     }
 }
 
+/// The fig3 fast grid again, but submitted over loopback HTTP to an
+/// in-process sweep-server with a cold store: the per-event delta vs
+/// `fig3_fast_grid` is the service's whole overhead — request parsing,
+/// scheduling, progress streaming and store writes.
+fn remote_fast_grid(args: &Args) -> Measurement {
+    let store_dir = std::env::temp_dir().join(format!("tss-perf-remote-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let server = SweepServer::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: store_dir.clone(),
+        workers: 0,
+    })
+    .expect("loopback sweep-server");
+    let request = GridRequest {
+        name: "remote_fast_grid".into(),
+        scale: args.scale,
+        protocols: ProtocolKind::ALL.to_vec(),
+        topologies: TopologyKind::PAPER.to_vec(),
+        nets: vec![NetworkModelSpec::Fast],
+        workloads: Vec::new(), // all five
+        seeds: vec![args.seed],
+        perturbation_ns: tss_bench::DEFAULT_PERTURBATION_NS,
+        perturbation_runs: args.seeds,
+    };
+    let (wall_ms, report) = time(|| {
+        client::run_remote(&server.url(), &request, |_| {}).expect("remote grid over loopback")
+    });
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    // The same deterministic event proxy as the grid benches, so the
+    // ns/event is directly comparable to fig3_fast_grid's.
+    let events: u64 = report
+        .cells
+        .iter()
+        .map(|c| c.stats.events_processed)
+        .sum::<u64>()
+        * args.seeds;
+    Measurement {
+        name: "remote_fast_grid",
+        wall_ms,
+        events,
+        seed: args.seed,
+    }
+}
+
 /// Merges `fresh` into the JSON artifact at `path`, preserving entries of
 /// benches this run did not produce (historic `*@pre_pr4` records).
 fn merge_json(path: &PathBuf, fresh: &[Measurement]) -> std::io::Result<()> {
@@ -328,17 +404,33 @@ fn main() {
         "hot-path benches (scale {:.5}, {} perturbation runs, seed {})",
         args.scale, args.seeds, args.seed
     );
-    let measurements = vec![
-        event_queue_micro(args.seed),
-        fast_cell(&args),
-        detailed_cell(&args),
-        grid_bench("fig3_fast_grid", &args, NetworkModelSpec::Fast),
-        grid_bench(
+    let wants = |name: &str| match &args.only {
+        Some(only) => only.iter().any(|n| n == name),
+        None => true,
+    };
+    let mut measurements = Vec::new();
+    if wants("event_queue_micro") {
+        measurements.push(event_queue_micro(args.seed));
+    }
+    if wants("fast_cell_oltp_butterfly") {
+        measurements.push(fast_cell(&args));
+    }
+    if wants("detailed_cell_oltp_torus") {
+        measurements.push(detailed_cell(&args));
+    }
+    if wants("fig3_fast_grid") {
+        measurements.push(grid_bench("fig3_fast_grid", &args, NetworkModelSpec::Fast));
+    }
+    if wants("detailed_contention_grid") {
+        measurements.push(grid_bench(
             "detailed_contention_grid",
             &args,
             NetworkModelSpec::detailed(5),
-        ),
-    ];
+        ));
+    }
+    if wants("remote_fast_grid") {
+        measurements.push(remote_fast_grid(&args));
+    }
 
     println!();
     println!(

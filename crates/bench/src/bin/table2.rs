@@ -84,6 +84,7 @@ fn main() {
     // neither content addressing nor sharding applies.
     cli.forbid_shard("table2");
     cli.forbid_resume("table2");
+    cli.forbid_remote("table2");
     let timing = Timing::default();
     println!("Table 2: Unloaded Network Timing Assumptions");
     println!("  Assumed: D_ovh=4ns  D_switch=15ns  D_mem=80ns  D_cache=25ns\n");

@@ -12,6 +12,7 @@ use tss_bench::Cli;
 
 fn main() {
     let cli = Cli::parse();
+    cli.forbid_remote("table3");
     println!(
         "Table 3: Benchmark Characteristics (scale {:.4})",
         cli.scale

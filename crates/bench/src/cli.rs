@@ -44,6 +44,10 @@ pub struct Cli {
     /// cell keys) are origin-invariant, so any value must reproduce the
     /// origin-0 artifact byte for byte.
     pub gt_origin: u64,
+    /// `--remote <url>`: submit the grid to a running `sweep-server`
+    /// instead of simulating locally. The artifact is byte-identical to
+    /// a local run; only `grid` accepts it (see [`Cli::forbid_remote`]).
+    pub remote: Option<String>,
     /// Where to write the run's [`GridReport`] JSON, if anywhere.
     pub json: Option<PathBuf>,
 }
@@ -62,6 +66,7 @@ impl Default for Cli {
             resume: None,
             shard: (0, 1),
             gt_origin: 0,
+            remote: None,
             json: None,
         }
     }
@@ -95,6 +100,11 @@ options:
                       origin-invariant, so seeding just below an era
                       rollover must reproduce the origin-0 artifact
                       byte for byte
+  --remote <url>      submit the grid to a running sweep-server at
+                      http://host:port instead of simulating locally;
+                      the JSON artifact is byte-identical to a local
+                      run (grid only; execution knobs --shard,
+                      --resume and --gt-origin stay local-side)
   --json <path>       write the run's GridReport JSON artifact
   --help              print this message";
 
@@ -197,6 +207,7 @@ impl Cli {
                         .parse()
                         .map_err(|_| format!("bad --gt-origin {value:?}"))?;
                 }
+                "--remote" => cli.remote = Some(value.clone()),
                 "--json" => cli.json = Some(PathBuf::from(value)),
                 other => {
                     return Err(format!("unknown option {other}"));
@@ -240,6 +251,22 @@ impl Cli {
                     .into(),
             );
         }
+        // `--remote` moves execution to the server; the local execution
+        // knobs would be silently ignored there, which is worse than an
+        // error (the server shards nothing, resumes from *its own* store,
+        // and always runs origin 0 — origin-invariant, but not what an
+        // explicit flag asked for).
+        if cli.remote.is_some() {
+            if cli.shard.1 > 1 {
+                return Err("--remote runs the whole grid server-side; drop --shard".into());
+            }
+            if cli.resume.is_some() {
+                return Err("--remote caches in the server's own cell store; drop --resume".into());
+            }
+            if cli.gt_origin != 0 {
+                return Err("--remote always simulates at gt-origin 0; drop --gt-origin".into());
+            }
+        }
         Ok(cli)
     }
 
@@ -271,29 +298,24 @@ impl Cli {
         }
     }
 
-    /// The paper workloads selected by `--workloads`, at `--scale`, in
-    /// Table 1 order.
-    pub fn paper_workloads(&self) -> Result<Vec<WorkloadSpec>, String> {
-        let all = paper::all(self.scale);
-        match &self.workloads {
-            None => Ok(all),
-            Some(names) => {
-                let mut picked = Vec::new();
-                for name in names {
-                    let spec = all
-                        .iter()
-                        .find(|s| s.name.eq_ignore_ascii_case(name))
-                        .ok_or_else(|| {
-                            format!(
-                                "unknown workload {name:?} (expected one of: oltp, dss, \
-                                 apache, altavista, barnes)"
-                            )
-                        })?;
-                    picked.push(spec.clone());
-                }
-                Ok(picked)
-            }
+    /// Aborts (exit 2) when `--remote` was given to a binary other than
+    /// `grid`: the composite and fixed-axis binaries post-process their
+    /// cells locally, so shipping the grid to a sweep-server would change
+    /// what the binary means, not just where it runs.
+    pub fn forbid_remote(&self, bin: &str) {
+        if self.remote.is_some() {
+            eprintln!(
+                "error: {bin} does not speak to a sweep-server; use \
+                 `grid --remote` for remote sweeps"
+            );
+            std::process::exit(2);
         }
+    }
+
+    /// The paper workloads selected by `--workloads`, at `--scale`, in
+    /// Table 1 order ([`paper::select`]; `None` = all five).
+    pub fn paper_workloads(&self) -> Result<Vec<WorkloadSpec>, String> {
+        paper::select(self.scale, self.workloads.as_deref().unwrap_or(&[]))
     }
 
     /// An [`ExperimentGrid`] preloaded with this CLI's axes, seed and
@@ -491,6 +513,25 @@ mod tests {
         // shard 1 of 3 holds exactly the middle one.
         assert_eq!(report.cells.len(), 1);
         assert_eq!(report.cells[0].protocol, ProtocolKind::DirClassic);
+    }
+
+    #[test]
+    fn remote_flag_parses_and_rejects_local_execution_knobs() {
+        let cli = Cli::parse_from(&args(&["--remote", "http://127.0.0.1:7070"])).unwrap();
+        assert_eq!(cli.remote.as_deref(), Some("http://127.0.0.1:7070"));
+
+        for (extra, needle) in [
+            (&["--shard", "0/2", "--json", "p.json"][..], "--shard"),
+            (&["--resume", "/tmp/cells"][..], "--resume"),
+            (&["--gt-origin", "7"][..], "--gt-origin"),
+        ] {
+            let mut argv = args(&["--remote", "http://h:1"]);
+            argv.extend(args(extra));
+            let err = Cli::parse_from(&argv).unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+        // gt-origin 0 is the server's behaviour anyway: allowed.
+        assert!(Cli::parse_from(&args(&["--remote", "http://h:1", "--gt-origin", "0"])).is_ok());
     }
 
     #[test]

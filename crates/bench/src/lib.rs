@@ -18,6 +18,7 @@
 //! | `contention` | detailed-token-network sweep: link occupancy × initial slack vs the fast model |
 //! | `perf` | simulator hot-path benchmarks → `BENCH_hotpath.json` (the perf trajectory; own CLI, see its docs) |
 //! | `grid-merge` | reassembles `--shard I/N` partial reports into the canonical grid artifact |
+//! | `cellstore` | cell-store maintenance: `gc [--purge] <dir>` (own CLI, see its docs) |
 //!
 //! All binaries share one CLI ([`Cli`]): `--scale`, `--seeds`,
 //! `--perturbation`, `--seed`, plus the grid filters `--protocols`,
@@ -30,7 +31,10 @@
 //! rather than ignore them, and `contention` takes `--resume` but not
 //! `--shard` — see [`Cli::forbid_shard`]/[`Cli::forbid_resume`]),
 //! and `--json <path>` to write the run's
-//! [`GridReport`](tss::experiment::GridReport) artifact. They construct
+//! [`GridReport`](tss::experiment::GridReport) artifact. `grid` alone
+//! also takes `--remote <url>` to submit the sweep to a running
+//! `sweep-server` (every other binary rejects it via
+//! [`Cli::forbid_remote`]). They construct
 //! systems exclusively through [`tss::SystemBuilder`] /
 //! [`tss::experiment::ExperimentGrid`].
 

@@ -18,12 +18,16 @@
 //!   schema from a different build, a key mismatch) as a miss; the cell
 //!   is re-simulated and the entry overwritten. A store can therefore be
 //!   shared, copied around, or hand-pruned with `rm` at any time.
-//! * **Schema-stamped entries** — each file records the
+//! * **Schema-stamped, lease-checked entries** — each file records the
 //!   [`GridReport`](crate::experiment::GridReport) schema it was written
-//!   under; entries from other schema versions are misses, so a format
-//!   change can never deserialize garbage. (Result-changing *code*
-//!   changes are handled by the [`crate::experiment::CELL_REV`] salt
-//!   inside the key itself.)
+//!   under *and* the [`crate::experiment::CELL_REV`] code revision that
+//!   produced it. Entries from other schema versions are misses, so a
+//!   format change can never deserialize garbage; the embedded revision
+//!   is the Tardis-style lease — a cached result is served only while it
+//!   matches the running code's `CELL_REV`. (The salt is also hashed
+//!   into the key itself, so stale entries normally aren't even looked
+//!   up; the embedded copy makes them *identifiable*, which is what lets
+//!   [`CellStore::gc`] report and purge them.)
 //!
 //! ```no_run
 //! use tss::cellstore::CellStore;
@@ -42,10 +46,11 @@
 //! assert!(store.load(report.cells[0].cell_key.expect("grid cells are keyed")).is_some());
 //! ```
 
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::experiment::{CellKey, RunReport, SCHEMA_VERSION};
+use crate::experiment::{CellKey, RunReport, CELL_REV, SCHEMA_VERSION};
 
 /// A directory of per-cell JSON entries keyed by [`CellKey`]. See the
 /// module docs for the durability rules.
@@ -78,6 +83,22 @@ impl CellStore {
         Ok(CellStore { dir })
     }
 
+    /// Attaches to an *existing* store directory without the open-time
+    /// temp sweep: the maintenance path ([`CellStore::gc`]) wants to
+    /// count those orphans, not lose them before looking. Unlike
+    /// [`CellStore::open`] a missing directory is an error — a gc of a
+    /// mistyped path should not quietly create an empty store.
+    pub fn attach(dir: impl Into<PathBuf>) -> io::Result<CellStore> {
+        let dir = dir.into();
+        if !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} is not a directory", dir.display()),
+            ));
+        }
+        Ok(CellStore { dir })
+    }
+
     /// The directory this store lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -90,13 +111,19 @@ impl CellStore {
 
     /// Loads the cell stored under `key`, or `None` on a miss — where
     /// "miss" includes every flavour of unusable entry: missing file,
-    /// unparsable JSON, wrong entry schema, or an embedded key that does
-    /// not match the filename's. Corruption is never an error, just work
-    /// to redo.
+    /// unparsable JSON, wrong entry schema, an expired [`CELL_REV`]
+    /// lease, or an embedded key that does not match the filename's.
+    /// Corruption is never an error, just work to redo.
     pub fn load(&self, key: CellKey) -> Option<RunReport> {
         let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
         let value: serde_json::Value = serde_json::from_str(&text).ok()?;
         if value.get("schema") != Some(&serde_json::Value::U64(u64::from(SCHEMA_VERSION))) {
+            return None;
+        }
+        // The Tardis-style lease check: the entry must have been written
+        // by this code revision. (Entries written before the lease field
+        // existed fail it too — they invalidate once and heal on rewrite.)
+        if value.get("cell_rev") != Some(&serde_json::Value::U64(u64::from(CELL_REV))) {
             return None;
         }
         let cell: RunReport = serde_json::from_value(value.get("cell")?).ok()?;
@@ -108,21 +135,146 @@ impl CellStore {
 
     /// Writes `cell` under `key`, atomically: the entry is complete and
     /// valid the instant it appears, even if this process dies mid-write.
+    /// The temp name is unique per write (pid + sequence), so concurrent
+    /// writers — threads of one sweep as much as separate processes —
+    /// never clobber each other mid-write; last rename wins, and every
+    /// rename installs a complete entry.
     pub fn store(&self, key: CellKey, cell: &RunReport) -> io::Result<()> {
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let envelope = serde_json::Value::Object(vec![
             (
                 "schema".into(),
                 serde_json::Value::U64(u64::from(SCHEMA_VERSION)),
             ),
+            (
+                "cell_rev".into(),
+                serde_json::Value::U64(u64::from(CELL_REV)),
+            ),
             ("cell".into(), serde_json::to_value(cell)),
         ]);
         let text =
             serde_json::to_string_pretty(&envelope).expect("value rendering is infallible") + "\n";
-        let tmp = self
-            .dir
-            .join(format!(".{}.tmp-{}", key.to_hex(), std::process::id()));
+        let tmp = self.dir.join(format!(
+            ".{}.tmp-{}-{}",
+            key.to_hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
         std::fs::write(&tmp, text)?;
         std::fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Sweeps and classifies the whole store: removes orphaned temp files
+    /// unconditionally, and counts every `<key>.json` entry as *live*
+    /// (loadable by this build), *stale* (a valid entry whose schema or
+    /// [`CELL_REV`] lease belongs to another code revision — dead weight,
+    /// since its key can never be looked up again), or *corrupt*
+    /// (unparsable, or the embedded key disagrees with the filename).
+    /// With `purge`, stale and corrupt entries are deleted too. Files
+    /// that are not store entries at all are left strictly alone.
+    pub fn gc(&self, purge: bool) -> io::Result<GcReport> {
+        let mut report = GcReport {
+            live: 0,
+            stale: 0,
+            corrupt: 0,
+            tmp_swept: 0,
+            purged: 0,
+        };
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if name.starts_with('.') && name.contains(".tmp-") {
+                // An orphan from a killed writer (a *live* writer's temp
+                // file may be swept too; its rename fails and that cell
+                // simply is not cached this round — same contract as
+                // `open`).
+                std::fs::remove_file(entry.path())?;
+                report.tmp_swept += 1;
+                continue;
+            }
+            // Only files named like entries are ours to judge; anything
+            // else in the directory is not store property.
+            let Some(key) = name
+                .strip_suffix(".json")
+                .and_then(|stem| stem.parse::<CellKey>().ok())
+            else {
+                continue;
+            };
+            let class = classify_entry(&entry.path(), key);
+            match class {
+                EntryClass::Live => report.live += 1,
+                EntryClass::Stale => report.stale += 1,
+                EntryClass::Corrupt => report.corrupt += 1,
+            }
+            if purge && class != EntryClass::Live {
+                std::fs::remove_file(entry.path())?;
+                report.purged += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryClass {
+    Live,
+    Stale,
+    Corrupt,
+}
+
+/// How one `<key>.json` file counts for [`CellStore::gc`].
+fn classify_entry(path: &Path, key: CellKey) -> EntryClass {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return EntryClass::Corrupt;
+    };
+    let Ok(value) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return EntryClass::Corrupt;
+    };
+    let schema_ok = value.get("schema") == Some(&serde_json::Value::U64(u64::from(SCHEMA_VERSION)));
+    let lease_ok = value.get("cell_rev") == Some(&serde_json::Value::U64(u64::from(CELL_REV)));
+    if !schema_ok || !lease_ok {
+        // Well-formed JSON from another build: stale, not corrupt. (The
+        // distinction matters for diagnostics — lots of stale entries
+        // after a CELL_REV bump is expected; corrupt entries are not.)
+        return EntryClass::Stale;
+    }
+    let Some(cell_value) = value.get("cell") else {
+        return EntryClass::Corrupt;
+    };
+    let Ok(cell) = serde_json::from_value::<RunReport>(cell_value) else {
+        return EntryClass::Corrupt;
+    };
+    if cell.cell_key != Some(key) {
+        return EntryClass::Corrupt;
+    }
+    EntryClass::Live
+}
+
+/// What [`CellStore::gc`] found (and, with `purge`, removed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct GcReport {
+    /// Entries loadable by this build.
+    pub live: usize,
+    /// Valid entries whose schema or [`CELL_REV`] lease is from another
+    /// code revision.
+    pub stale: usize,
+    /// Unparsable entries, or entries whose embedded key disagrees with
+    /// their filename.
+    pub corrupt: usize,
+    /// Orphaned temp files removed (always removed, purge or not).
+    pub tmp_swept: usize,
+    /// Stale + corrupt entries deleted (0 unless purging).
+    pub purged: usize,
+}
+
+impl fmt::Display for GcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} live, {} stale, {} corrupt, {} tmp swept, {} purged",
+            self.live, self.stale, self.corrupt, self.tmp_swept, self.purged
+        )
     }
 }
 
@@ -215,6 +367,96 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().starts_with('.'))
             .collect();
         assert!(strays.is_empty(), "{strays:?}");
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn expired_cell_rev_lease_is_a_miss() {
+        let store = temp_store("lease");
+        let (key, cell) = sample_cell();
+        store.store(key, &cell).unwrap();
+        assert!(store.load(key).is_some());
+
+        let text = std::fs::read_to_string(store.entry_path(key)).unwrap();
+        // An entry written by a different code revision...
+        let stale = text.replace(
+            &format!("\"cell_rev\": {CELL_REV}"),
+            &format!("\"cell_rev\": {}", CELL_REV + 1),
+        );
+        assert_ne!(stale, text, "envelope carries the lease field");
+        std::fs::write(store.entry_path(key), stale).unwrap();
+        assert!(store.load(key).is_none(), "expired lease is a miss");
+
+        // ...and a pre-lease entry (no cell_rev field at all).
+        let legacy = text.replace(&format!("\"cell_rev\": {CELL_REV},\n  "), "");
+        assert_ne!(legacy, text);
+        std::fs::write(store.entry_path(key), legacy).unwrap();
+        assert!(store.load(key).is_none(), "missing lease is a miss");
+
+        // A rewrite heals the entry.
+        store.store(key, &cell).unwrap();
+        assert!(store.load(key).is_some());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn gc_classifies_sweeps_and_purges() {
+        let store = temp_store("gc");
+        let (key, cell) = sample_cell();
+        store.store(key, &cell).unwrap();
+        let text = std::fs::read_to_string(store.entry_path(key)).unwrap();
+
+        // A stale entry: valid JSON, expired lease, under a different key.
+        let other_key = CellKey::compute(
+            &SystemConfig::test_default(ProtocolKind::DirOpt, TopologyKind::Butterfly16),
+            &paper::dss(0.0005),
+            1,
+        );
+        let stale = text.replace(
+            &format!("\"cell_rev\": {CELL_REV}"),
+            &format!("\"cell_rev\": {}", CELL_REV + 1),
+        );
+        std::fs::write(store.entry_path(other_key), stale).unwrap();
+
+        // A corrupt entry: truncated JSON under a third key.
+        let third_key = CellKey::compute(
+            &SystemConfig::test_default(ProtocolKind::DirClassic, TopologyKind::Torus4x4),
+            &paper::oltp(0.0005),
+            1,
+        );
+        std::fs::write(store.entry_path(third_key), &text[..text.len() / 2]).unwrap();
+
+        // An orphaned temp file and a foreign file.
+        let orphan = store.dir().join(format!(".{}.tmp-4242", key.to_hex()));
+        std::fs::write(&orphan, "half-written").unwrap();
+        let foreign = store.dir().join("README.txt");
+        std::fs::write(&foreign, "not an entry").unwrap();
+
+        // Report-only pass: counts everything, removes only the orphan.
+        let report = store.gc(false).unwrap();
+        assert_eq!(
+            report,
+            GcReport {
+                live: 1,
+                stale: 1,
+                corrupt: 1,
+                tmp_swept: 1,
+                purged: 0,
+            }
+        );
+        assert!(!orphan.exists(), "orphan swept even without purge");
+        assert!(store.entry_path(other_key).exists(), "stale kept");
+        assert!(store.entry_path(third_key).exists(), "corrupt kept");
+        assert!(report.to_string().contains("1 stale"), "{report}");
+
+        // Purge pass: stale and corrupt go, live and foreign stay.
+        let report = store.gc(true).unwrap();
+        assert_eq!(report.live, 1);
+        assert_eq!(report.purged, 2);
+        assert!(!store.entry_path(other_key).exists());
+        assert!(!store.entry_path(third_key).exists());
+        assert!(store.load(key).is_some(), "live entry untouched");
+        assert!(foreign.exists(), "non-entry files are not store property");
         std::fs::remove_dir_all(store.dir()).ok();
     }
 

@@ -35,7 +35,6 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use tss_proto::CacheConfig;
@@ -46,6 +45,7 @@ use crate::config::{
     ConfigError, NetworkModelSpec, ProtocolKind, SystemConfig, Timing, TopologyKind,
 };
 use crate::methodology::min_over_perturbations;
+use crate::scheduler::WorkStealScheduler;
 use crate::system::SystemStats;
 
 /// Version stamp of the [`GridReport`] JSON schema. Bump when a field is
@@ -916,12 +916,15 @@ impl ExperimentGrid {
             * self.seeds.len()
     }
 
-    /// Validates the axes, runs every cell (in parallel), and reports.
+    /// Validates the axes and compiles this grid (or this process's shard
+    /// of it) into a [`GridPlan`]: the flat, self-contained cell list the
+    /// run loop — local or remote — executes.
     ///
     /// Validation is all-up-front: no simulation starts unless every cell
     /// of the grid is well-formed, so a typo in one axis cannot waste a
-    /// half-finished sweep.
-    pub fn run(self) -> Result<GridReport, ConfigError> {
+    /// half-finished sweep. The *whole* grid is validated, not just this
+    /// shard, so every shard of an invalid grid fails identically.
+    pub fn plan(&self) -> Result<GridPlan, ConfigError> {
         for (axis, empty) in [
             ("protocols", self.protocols.is_empty()),
             ("topologies", self.topologies.is_empty()),
@@ -942,18 +945,13 @@ impl ExperimentGrid {
                 total: self.shard.total,
             });
         }
-        let store = match &self.resume {
-            None => None,
-            Some(dir) => Some(CellStore::open(dir).map_err(|e| ConfigError::BadResumeDir {
-                path: dir.display().to_string(),
-                reason: e.to_string(),
-            })?),
-        };
 
         // Deterministic cell order: workload-major, then topology, net,
         // protocol, seed — the order the paper's figures read in, with
         // the network model varying slowest inside a figure block.
-        let mut plans: Vec<(usize, SystemConfig, &WorkloadSpec)> = Vec::new();
+        let runs = self.perturbation_runs;
+        let mut cells: Vec<CellPlan> = Vec::new();
+        let mut index = 0usize;
         for spec in &self.workloads {
             for &topology in &self.topologies {
                 for &net in &self.nets {
@@ -973,85 +971,181 @@ impl ExperimentGrid {
                                 record_observations: false,
                                 gt_origin: self.gt_origin,
                             };
-                            plans.push((plans.len(), cfg, spec));
+                            // Fail fast on any invalid cell, including the
+                            // cells other shards would run.
+                            cfg.validate()?;
+                            crate::builder::validate_workload(spec)?;
+                            // This process's slice: round-robin over the
+                            // global order, keys computed up front (cheap
+                            // next to any simulation).
+                            if index % self.shard.total as usize == self.shard.index as usize {
+                                cells.push(CellPlan {
+                                    index,
+                                    key: CellKey::compute(&cfg, spec, runs),
+                                    cfg,
+                                    spec: spec.clone(),
+                                    runs,
+                                });
+                            }
+                            index += 1;
                         }
                     }
                 }
             }
         }
-        // Fail fast on any invalid cell before simulating anything — the
-        // whole grid, not just this shard, so every shard of an invalid
-        // grid fails identically.
-        for (_, cfg, spec) in &plans {
-            cfg.validate()?;
-            crate::builder::validate_workload(spec)?;
-        }
 
-        // This process's slice: round-robin over the global cell order,
-        // keys computed up front (cheap next to any simulation).
-        let runs = self.perturbation_runs;
-        let mine: Vec<(usize, CellKey)> = plans
-            .iter()
-            .filter(|(j, _, _)| j % self.shard.total as usize == self.shard.index as usize)
-            .map(|(j, cfg, spec)| (*j, CellKey::compute(cfg, spec, runs)))
-            .collect();
-
-        let slots: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; mine.len()]);
-        let cursor = AtomicUsize::new(0);
-        let workers = if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        }
-        .min(mine.len())
-        .max(1);
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some((global, key)) = mine.get(i) else {
-                        break;
-                    };
-                    let (_, cfg, spec) = &plans[*global];
-                    let report = run_or_load_cell(store.as_ref(), *key, cfg, spec, runs);
-                    slots.lock().expect("no worker panicked holding the lock")[i] = Some(report);
-                });
-            }
-        });
-
-        let cells: Vec<RunReport> = slots
-            .into_inner()
-            .expect("workers joined")
-            .into_iter()
-            .map(|c| c.expect("every cell ran"))
-            .collect();
-
-        Ok(GridReport {
-            schema: SCHEMA_VERSION,
-            name: self.name,
+        Ok(GridPlan {
+            name: self.name.clone(),
             shard: self.shard,
-            protocols: self.protocols,
-            topologies: self.topologies,
-            nets: self.nets,
+            protocols: self.protocols.clone(),
+            topologies: self.topologies.clone(),
+            nets: self.nets.clone(),
             workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
-            seeds: self.seeds,
+            seeds: self.seeds.clone(),
             perturbation_ns: self.perturbation_ns,
             perturbation_runs: self.perturbation_runs,
             cells,
         })
     }
+
+    /// Validates the axes, runs every cell (in parallel, work-stealing),
+    /// and reports. Equivalent to [`ExperimentGrid::plan`] +
+    /// [`GridPlan::execute`] + [`GridPlan::report`].
+    pub fn run(self) -> Result<GridReport, ConfigError> {
+        let store = match &self.resume {
+            None => None,
+            Some(dir) => Some(CellStore::open(dir).map_err(|e| ConfigError::BadResumeDir {
+                path: dir.display().to_string(),
+                reason: e.to_string(),
+            })?),
+        };
+        let plan = self.plan()?;
+        let cells = plan.execute(store.as_ref(), self.threads);
+        Ok(plan.report(cells))
+    }
 }
 
-/// One cell: served from the store when a matching entry exists, simulated
-/// (and written back, best-effort) otherwise.
-fn run_or_load_cell(
-    store: Option<&CellStore>,
-    key: CellKey,
-    cfg: &SystemConfig,
-    spec: &WorkloadSpec,
-    runs: u64,
-) -> RunReport {
+/// One fully-resolved grid cell, ready to execute: its global position in
+/// the grid's deterministic cell order, its content address, and every
+/// input [`run_or_load_cell`] needs. Self-contained (the workload spec is
+/// owned) so plans can be queued, shipped to worker threads, or held by a
+/// long-running service without borrowing the grid that produced them.
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    /// Global index in the grid's deterministic cell order (not the index
+    /// within a shard's slice).
+    pub index: usize,
+    /// The cell's content address.
+    pub key: CellKey,
+    /// The complete system configuration for this cell.
+    pub cfg: SystemConfig,
+    /// The workload it runs.
+    pub spec: WorkloadSpec,
+    /// §4.3 perturbed runs the reported minimum is taken over.
+    pub runs: u64,
+}
+
+/// A validated, flattened grid: the axis echoes a [`GridReport`] carries
+/// plus one [`CellPlan`] per cell of this shard's slice, in deterministic
+/// grid order. Produced by [`ExperimentGrid::plan`]; consumed by the local
+/// run loop ([`GridPlan::execute`]) and by the sweep server, which feeds
+/// the cells of many plans into one shared scheduler.
+#[derive(Debug, Clone)]
+pub struct GridPlan {
+    /// What produced this plan (binary or experiment name).
+    pub name: String,
+    /// Which slice of the grid the plan covers.
+    pub shard: ShardSpec,
+    /// Protocol axis, in run order.
+    pub protocols: Vec<ProtocolKind>,
+    /// Topology axis, in run order.
+    pub topologies: Vec<TopologyKind>,
+    /// Network-model axis, in run order.
+    pub nets: Vec<NetworkModelSpec>,
+    /// Workload axis (names), in run order.
+    pub workloads: Vec<String>,
+    /// Seed axis, in run order.
+    pub seeds: Vec<u64>,
+    /// §4.3 response-jitter bound (ns).
+    pub perturbation_ns: u64,
+    /// Perturbed runs per cell.
+    pub perturbation_runs: u64,
+    /// The cells of this shard's slice, in grid order.
+    pub cells: Vec<CellPlan>,
+}
+
+impl GridPlan {
+    /// Executes every cell on a [`WorkStealScheduler`] with `threads`
+    /// workers (0 = one per available core) and returns the reports in
+    /// plan order — execution order is whatever stealing makes of it, but
+    /// each result lands in its cell's slot, so the output (and therefore
+    /// the report bytes) is deterministic.
+    pub fn execute(&self, store: Option<&CellStore>, threads: usize) -> Vec<RunReport> {
+        let workers = if threads > 0 {
+            threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+        .min(self.cells.len())
+        .max(1);
+
+        let sched: WorkStealScheduler<usize> = WorkStealScheduler::new(workers);
+        sched.submit_batch(0..self.cells.len());
+        sched.close();
+        let slots: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; self.cells.len()]);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let (sched, slots) = (&sched, &slots);
+                scope.spawn(move || {
+                    while let Some(i) = sched.next(w) {
+                        let report = run_or_load_cell(store, &self.cells[i]);
+                        slots.lock().expect("no worker panicked holding the lock")[i] =
+                            Some(report);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|c| c.expect("every cell ran"))
+            .collect()
+    }
+
+    /// Assembles the [`GridReport`] for this plan from its cells' reports,
+    /// which must be in plan order (as [`GridPlan::execute`] returns them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` does not hold exactly one report per planned
+    /// cell — that is a harness bug, not a runtime condition.
+    pub fn report(&self, cells: Vec<RunReport>) -> GridReport {
+        assert_eq!(cells.len(), self.cells.len(), "one report per planned cell");
+        GridReport {
+            schema: SCHEMA_VERSION,
+            name: self.name.clone(),
+            shard: self.shard,
+            protocols: self.protocols.clone(),
+            topologies: self.topologies.clone(),
+            nets: self.nets.clone(),
+            workloads: self.workloads.clone(),
+            seeds: self.seeds.clone(),
+            perturbation_ns: self.perturbation_ns,
+            perturbation_runs: self.perturbation_runs,
+            cells,
+        }
+    }
+}
+
+/// Executes one planned cell: served from the store when a matching entry
+/// exists (marked `cached`), simulated — and written back, best-effort —
+/// otherwise. This is the unit of work both the local grid runner and the
+/// sweep server schedule.
+pub fn run_or_load_cell(store: Option<&CellStore>, plan: &CellPlan) -> RunReport {
+    let (key, cfg, spec, runs) = (plan.key, &plan.cfg, &plan.spec, plan.runs);
     if let Some(store) = store {
         if let Some(mut cell) = store.load(key) {
             // Trust but verify: the configuration echo must match the

@@ -73,11 +73,15 @@ mod config;
 mod cpu;
 pub mod experiment;
 pub mod methodology;
+pub mod scheduler;
 mod system;
 
 pub use builder::SystemBuilder;
-pub use cellstore::CellStore;
+pub use cellstore::{CellStore, GcReport};
 pub use config::{ConfigError, NetworkModelSpec, ProtocolKind, SystemConfig, Timing, TopologyKind};
 pub use cpu::Cpu;
-pub use experiment::{CellKey, ExperimentGrid, GridReport, MergeError, RunReport, ShardSpec};
+pub use experiment::{
+    CellKey, CellPlan, ExperimentGrid, GridPlan, GridReport, MergeError, RunReport, ShardSpec,
+};
+pub use scheduler::{SchedulerStats, WorkStealScheduler};
 pub use system::{RunResult, System, SystemStats, TrafficSummary};

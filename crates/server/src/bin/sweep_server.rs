@@ -1,0 +1,84 @@
+//! `sweep-server` — the long-running compute-cache service over the cell
+//! store. See ARCHITECTURE.md "Sweep service" for the endpoint table.
+//!
+//! ```text
+//! sweep-server --store cells --addr 127.0.0.1:7070 --workers 0
+//! ```
+//!
+//! Runs until SIGTERM/SIGINT, then drains gracefully: in-flight cells
+//! finish (and land in the store), queued cells are abandoned, exit 0.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tss_server::service::{ServerConfig, SweepServer};
+use tss_server::signal;
+
+const USAGE: &str = "\
+usage: sweep-server [options]
+  --addr <host:port>  bind address (default 127.0.0.1:7070; port 0 = any)
+  --store <dir>       cell-store directory (default cells; created if
+                      missing; restarts resume warm from it)
+  --workers <n>       cell workers (default 0 = one per core)
+  --help              print this message";
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7070".into(),
+        store_dir: PathBuf::from("cells"),
+        workers: 0,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("error: {flag} needs a value\n{USAGE}");
+            std::process::exit(2);
+        };
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--store" => config.store_dir = PathBuf::from(value),
+            "--workers" => {
+                config.workers = value.parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad --workers {value:?}\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    signal::install();
+    let server = SweepServer::start(config.clone()).unwrap_or_else(|e| {
+        eprintln!("error: cannot start sweep-server on {}: {e}", config.addr);
+        std::process::exit(1);
+    });
+    println!(
+        "sweep-server listening on {} (store: {}, workers: {})",
+        server.url(),
+        config.store_dir.display(),
+        if config.workers == 0 {
+            "auto".to_string()
+        } else {
+            config.workers.to_string()
+        }
+    );
+
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("sweep-server: shutdown requested, draining in-flight cells");
+    server.begin_shutdown();
+    let abandoned = server.abandoned_cells();
+    server.join();
+    println!("sweep-server: drained ({abandoned} queued cells abandoned)");
+}

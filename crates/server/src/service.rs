@@ -1,0 +1,608 @@
+//! The sweep service: a threaded HTTP server that turns grid requests
+//! into scheduled cells and serves everything it has ever computed from
+//! the shared [`CellStore`].
+//!
+//! Execution shape:
+//!
+//! * One **accept loop** (non-blocking listener, polled against the
+//!   shutdown flag) spawns a short-lived handler thread per connection.
+//! * One pool of **cell workers** drains a shared
+//!   [`WorkStealScheduler`]: cells from *all* in-flight grid requests
+//!   feed the same queues, so a small request never waits behind a big
+//!   one and skewed cell costs rebalance by stealing.
+//! * **Single-flight dedupe**: an `inflight` map from [`CellKey`] to its
+//!   result slot. A request whose cell is already in flight joins the
+//!   existing slot instead of scheduling a duplicate; the cell executes
+//!   exactly once and every waiter gets the result. Cells finished in an
+//!   earlier life of the server are hits in the [`CellStore`] (the
+//!   workers load instead of simulating), so restarts resume warm.
+//! * **Graceful shutdown** ([`SweepServer::begin_shutdown`]): the
+//!   scheduler is abandoned — workers finish the cells they hold,
+//!   queued cells are dropped, streaming responses emit an `aborted`
+//!   event — and the store stays consistent because every write was
+//!   atomic anyway.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tss::experiment::{run_or_load_cell, CellPlan, GridPlan, CELL_REV};
+use tss::scheduler::WorkStealScheduler;
+use tss::{CellKey, CellStore, RunReport};
+
+use crate::client::GridRequest;
+use crate::http::{self, Request, RequestError};
+
+/// How the server binds and where it keeps its cells.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    pub addr: String,
+    /// The [`CellStore`] directory (created if missing).
+    pub store_dir: PathBuf,
+    /// Cell workers (0 = one per available core).
+    pub workers: usize,
+}
+
+/// The result slot one scheduled cell fills and any number of waiting
+/// grid streams read.
+#[derive(Debug)]
+struct CellSlot {
+    result: Mutex<Option<RunReport>>,
+    ready: Condvar,
+}
+
+impl CellSlot {
+    fn new() -> CellSlot {
+        CellSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, report: RunReport) {
+        *self.result.lock().expect("slot lock") = Some(report);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the slot fills, or returns `None` once `shutdown`
+    /// rises (the slot's cell was abandoned and will never fill).
+    fn wait(&self, shutdown: &AtomicBool) -> Option<RunReport> {
+        let mut guard = self.result.lock().expect("slot lock");
+        loop {
+            if let Some(report) = guard.as_ref() {
+                return Some(report.clone());
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            // Timed wait: the shutdown flag has no condvar of its own,
+            // so waiters must poll it.
+            let (next, _) = self
+                .ready
+                .wait_timeout(guard, Duration::from_millis(50))
+                .expect("slot lock");
+            guard = next;
+        }
+    }
+}
+
+/// One scheduled unit of work: the cell to execute and the slot its
+/// result lands in.
+struct CellTask {
+    plan: CellPlan,
+    slot: Arc<CellSlot>,
+}
+
+/// One accepted grid request: its compiled plan plus, per planned cell,
+/// the slot that will (or already does) hold the result. Two positions
+/// whose cells share a key share one slot.
+struct GridJob {
+    plan: GridPlan,
+    slots: Vec<Arc<CellSlot>>,
+}
+
+#[derive(Default)]
+struct CellCounters {
+    requested: AtomicU64,
+    executed: AtomicU64,
+    deduped: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+struct State {
+    store: CellStore,
+    sched: WorkStealScheduler<CellTask>,
+    inflight: Mutex<HashMap<CellKey, Arc<CellSlot>>>,
+    grids: Mutex<HashMap<u64, Arc<GridJob>>>,
+    next_grid: AtomicU64,
+    stats: CellCounters,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+/// A running sweep server. Dropping the handle does NOT stop the server;
+/// call [`SweepServer::shutdown`] (or [`SweepServer::begin_shutdown`] +
+/// [`SweepServer::join`]) for a graceful drain.
+pub struct SweepServer {
+    state: Arc<State>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SweepServer {
+    /// Opens the store, binds the listener, and starts the accept loop
+    /// and the cell workers.
+    pub fn start(config: ServerConfig) -> io::Result<SweepServer> {
+        let store = CellStore::open(&config.store_dir)?;
+        let worker_count = if config.workers > 0 {
+            config.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        let state = Arc::new(State {
+            store,
+            sched: WorkStealScheduler::new(worker_count),
+            inflight: Mutex::new(HashMap::new()),
+            grids: Mutex::new(HashMap::new()),
+            next_grid: AtomicU64::new(0),
+            stats: CellCounters::default(),
+            shutdown: AtomicBool::new(false),
+            workers: worker_count,
+        });
+
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_state));
+        let workers = (0..worker_count)
+            .map(|w| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(state, w))
+            })
+            .collect();
+
+        Ok(SweepServer {
+            state,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The address the listener actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The base URL clients should use.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Starts a graceful drain: no new requests or cells are accepted,
+    /// workers finish the cells they currently hold, queued cells are
+    /// abandoned (their waiting streams emit an `aborted` event), and
+    /// the store is left consistent. Returns immediately; use
+    /// [`SweepServer::join`] to wait for the threads.
+    pub fn begin_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.sched.abandon();
+    }
+
+    /// Waits for the accept loop and every cell worker to exit. Only
+    /// returns promptly after [`SweepServer::begin_shutdown`].
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// [`SweepServer::begin_shutdown`] + [`SweepServer::join`].
+    pub fn shutdown(self) {
+        self.begin_shutdown();
+        self.join();
+    }
+
+    /// Cells the scheduler abandoned unexecuted (meaningful after
+    /// shutdown; the binary reports it on exit).
+    pub fn abandoned_cells(&self) -> u64 {
+        self.state.sched.stats().abandoned
+    }
+}
+
+/// Accepts connections until shutdown, one handler thread each. The
+/// listener is non-blocking so the loop can poll the shutdown flag.
+fn accept_loop(listener: TcpListener, state: Arc<State>) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    // IO failures talking to one peer (dead client,
+                    // mid-stream disconnect) are that connection's
+                    // problem, never the server's.
+                    let _ = serve_connection(stream, &state);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// One cell worker: drain the shared scheduler until it closes.
+fn worker_loop(state: Arc<State>, worker: usize) {
+    while let Some(task) = state.sched.next(worker) {
+        let report = run_or_load_cell(Some(&state.store), &task.plan);
+        if report.cached {
+            state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.stats.executed.fetch_add(1, Ordering::Relaxed);
+        }
+        task.slot.fill(report);
+        // Leave single-flight only after the slot is filled (and the
+        // store written, inside run_or_load_cell): a request landing in
+        // any window either joins this slot or re-schedules a store hit.
+        state
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(&task.plan.key);
+    }
+}
+
+/// Registers a compiled plan: one slot per cell, deduplicated against
+/// everything already in flight, new cells injected into the scheduler.
+fn submit_grid(state: &Arc<State>, plan: GridPlan) -> (u64, Arc<GridJob>) {
+    let mut slots = Vec::with_capacity(plan.cells.len());
+    {
+        // One lock over the whole batch: the dedupe decision and the
+        // inflight insertion must be atomic per key, and batching the
+        // checks keeps two racing identical requests from interleaving
+        // half-schedules.
+        let mut inflight = state.inflight.lock().expect("inflight lock");
+        for cell in &plan.cells {
+            state.stats.requested.fetch_add(1, Ordering::Relaxed);
+            let slot = match inflight.get(&cell.key) {
+                Some(existing) => {
+                    state.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(existing)
+                }
+                None => {
+                    let slot = Arc::new(CellSlot::new());
+                    inflight.insert(cell.key, Arc::clone(&slot));
+                    // A closed scheduler (shutdown raced the request)
+                    // drops the task; the waiter then aborts on the
+                    // shutdown flag instead of hanging.
+                    state.sched.inject(CellTask {
+                        plan: cell.clone(),
+                        slot: Arc::clone(&slot),
+                    });
+                    slot
+                }
+            };
+            slots.push(slot);
+        }
+    }
+    let id = state.next_grid.fetch_add(1, Ordering::Relaxed) + 1;
+    let job = Arc::new(GridJob { plan, slots });
+    state
+        .grids
+        .lock()
+        .expect("grids lock")
+        .insert(id, Arc::clone(&job));
+    (id, job)
+}
+
+/// Reads one request off the connection and routes it.
+fn serve_connection(stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let request = match http::read_request(&mut reader) {
+        Ok(request) => request,
+        Err(RequestError::Eof) => return Ok(()),
+        Err(RequestError::Io(e)) => return Err(e),
+        Err(e @ RequestError::TooLarge(_)) => {
+            return error_response(stream, 413, "Payload Too Large", &e.to_string());
+        }
+        Err(e @ RequestError::Malformed(_)) => {
+            return error_response(stream, 400, "Bad Request", &e.to_string());
+        }
+    };
+    route(stream, state, &request)
+}
+
+fn route(stream: TcpStream, state: &Arc<State>, request: &Request) -> io::Result<()> {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("POST", "/v1/grids") => post_grid(stream, state, request),
+        ("GET", "/v1/healthz") => {
+            let mut stream = stream;
+            http::write_response(
+                &mut stream,
+                200,
+                "OK",
+                &[("Content-Type", "text/plain")],
+                b"ok\n",
+            )
+        }
+        ("GET", "/v1/stats") => get_stats(stream, state),
+        ("GET", _) if path.starts_with("/v1/grids/") => {
+            get_grid_stream(stream, state, &path["/v1/grids/".len()..])
+        }
+        ("GET", _) if path.starts_with("/v1/cells/") => {
+            get_cell(stream, state, request, &path["/v1/cells/".len()..])
+        }
+        (_, _)
+            if path == "/v1/grids"
+                || path == "/v1/healthz"
+                || path == "/v1/stats"
+                || path.starts_with("/v1/grids/")
+                || path.starts_with("/v1/cells/") =>
+        {
+            error_response(stream, 405, "Method Not Allowed", "method not allowed here")
+        }
+        _ => error_response(stream, 404, "Not Found", "no such endpoint"),
+    }
+}
+
+/// `POST /v1/grids`: parse, compile, dedupe-and-schedule, answer with
+/// the job id.
+fn post_grid(mut stream: TcpStream, state: &Arc<State>, request: &Request) -> io::Result<()> {
+    if state.shutdown.load(Ordering::SeqCst) {
+        return error_response(stream, 503, "Service Unavailable", "server is draining");
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(stream, 400, "Bad Request", "body is not UTF-8"),
+    };
+    let grid_request: GridRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => {
+            return error_response(
+                stream,
+                400,
+                "Bad Request",
+                &format!("bad grid request: {e}"),
+            );
+        }
+    };
+    let grid = match grid_request.to_grid() {
+        Ok(grid) => grid,
+        Err(e) => return error_response(stream, 400, "Bad Request", &e),
+    };
+    let plan = match grid.plan() {
+        Ok(plan) => plan,
+        Err(e) => return error_response(stream, 400, "Bad Request", &e.to_string()),
+    };
+    let (id, job) = submit_grid(state, plan);
+    let reply = serde_json::Value::Object(vec![
+        ("id".into(), serde_json::Value::U64(id)),
+        (
+            "cells".into(),
+            serde_json::Value::U64(job.plan.cells.len() as u64),
+        ),
+        (
+            "url".into(),
+            serde_json::Value::Str(format!("/v1/grids/{id}")),
+        ),
+    ]);
+    let body = render_json_line(&reply);
+    http::write_response(
+        &mut stream,
+        201,
+        "Created",
+        &[("Content-Type", "application/json")],
+        body.as_bytes(),
+    )
+}
+
+/// `GET /v1/grids/{id}`: stream NDJSON progress in plan order, then the
+/// final report.
+fn get_grid_stream(stream: TcpStream, state: &Arc<State>, id_text: &str) -> io::Result<()> {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return error_response(stream, 400, "Bad Request", "grid id must be an integer");
+    };
+    let job = state.grids.lock().expect("grids lock").get(&id).cloned();
+    let Some(job) = job else {
+        return error_response(stream, 404, "Not Found", "no such grid");
+    };
+
+    let total = job.plan.cells.len();
+    let mut chunks = http::start_chunked(
+        stream,
+        200,
+        "OK",
+        &[("Content-Type", "application/x-ndjson")],
+    )?;
+    let start = serde_json::Value::Object(vec![
+        ("event".into(), serde_json::Value::Str("start".into())),
+        ("id".into(), serde_json::Value::U64(id)),
+        ("name".into(), serde_json::Value::Str(job.plan.name.clone())),
+        ("cells".into(), serde_json::Value::U64(total as u64)),
+    ]);
+    chunks.chunk(render_json_line(&start).as_bytes())?;
+
+    let mut cells = Vec::with_capacity(total);
+    for (i, slot) in job.slots.iter().enumerate() {
+        match slot.wait(&state.shutdown) {
+            Some(report) => {
+                let event = serde_json::Value::Object(vec![
+                    ("event".into(), serde_json::Value::Str("cell".into())),
+                    ("index".into(), serde_json::Value::U64(i as u64)),
+                    (
+                        "key".into(),
+                        serde_json::Value::Str(job.plan.cells[i].key.to_hex()),
+                    ),
+                    ("cached".into(), serde_json::Value::Bool(report.cached)),
+                    (
+                        "runtime_ns".into(),
+                        serde_json::Value::U64(report.runtime_ns()),
+                    ),
+                    ("done".into(), serde_json::Value::U64((i + 1) as u64)),
+                    ("total".into(), serde_json::Value::U64(total as u64)),
+                ]);
+                chunks.chunk(render_json_line(&event).as_bytes())?;
+                cells.push(report);
+            }
+            None => {
+                let aborted = serde_json::Value::Object(vec![
+                    ("event".into(), serde_json::Value::Str("aborted".into())),
+                    (
+                        "reason".into(),
+                        serde_json::Value::Str("server shutting down".into()),
+                    ),
+                    ("done".into(), serde_json::Value::U64(i as u64)),
+                    ("total".into(), serde_json::Value::U64(total as u64)),
+                ]);
+                chunks.chunk(render_json_line(&aborted).as_bytes())?;
+                return chunks.finish();
+            }
+        }
+    }
+
+    let report = job.plan.report(cells);
+    let final_event = serde_json::Value::Object(vec![
+        ("event".into(), serde_json::Value::Str("report".into())),
+        ("report".into(), serde_json::to_value(&report)),
+    ]);
+    chunks.chunk(render_json_line(&final_event).as_bytes())?;
+    chunks.finish()
+}
+
+/// `GET /v1/cells/{key}`: one cached cell, with the `CELL_REV` lease
+/// spelled out as a strong ETag so clients can revalidate for free.
+fn get_cell(
+    mut stream: TcpStream,
+    state: &Arc<State>,
+    request: &Request,
+    key_text: &str,
+) -> io::Result<()> {
+    let Ok(key) = key_text.parse::<CellKey>() else {
+        return error_response(stream, 400, "Bad Request", "cell key must be 32 hex digits");
+    };
+    let Some(cell) = state.store.load(key) else {
+        return error_response(stream, 404, "Not Found", "cell not in store");
+    };
+    // The lease, client-visible: the entity changes iff the revision
+    // does, since the key itself pins every other input.
+    let etag = format!("\"{}-{}\"", CELL_REV, key.to_hex());
+    let revalidated = request
+        .header("if-none-match")
+        .is_some_and(|v| v == "*" || v.split(',').any(|tag| tag.trim() == etag));
+    if revalidated {
+        return http::write_response(&mut stream, 304, "Not Modified", &[("ETag", &etag)], b"");
+    }
+    let body = serde_json::to_string_pretty(&serde_json::to_value(&cell))
+        .expect("value rendering is infallible")
+        + "\n";
+    http::write_response(
+        &mut stream,
+        200,
+        "OK",
+        &[("Content-Type", "application/json"), ("ETag", &etag)],
+        body.as_bytes(),
+    )
+}
+
+/// `GET /v1/stats`: the cache counters and the scheduler's flow shape.
+fn get_stats(mut stream: TcpStream, state: &Arc<State>) -> io::Result<()> {
+    let sched = state.sched.stats();
+    let cells = serde_json::Value::Object(vec![
+        (
+            "requested".into(),
+            serde_json::Value::U64(state.stats.requested.load(Ordering::Relaxed)),
+        ),
+        (
+            "executed".into(),
+            serde_json::Value::U64(state.stats.executed.load(Ordering::Relaxed)),
+        ),
+        (
+            "deduped".into(),
+            serde_json::Value::U64(state.stats.deduped.load(Ordering::Relaxed)),
+        ),
+        (
+            "cache_hits".into(),
+            serde_json::Value::U64(state.stats.cache_hits.load(Ordering::Relaxed)),
+        ),
+    ]);
+    let scheduler = serde_json::Value::Object(vec![
+        ("submitted".into(), serde_json::Value::U64(sched.submitted)),
+        ("injected".into(), serde_json::Value::U64(sched.injected)),
+        ("stolen".into(), serde_json::Value::U64(sched.stolen())),
+        (
+            "steals".into(),
+            serde_json::Value::Array(
+                sched
+                    .steals
+                    .iter()
+                    .map(|&s| serde_json::Value::U64(s))
+                    .collect(),
+            ),
+        ),
+        ("abandoned".into(), serde_json::Value::U64(sched.abandoned)),
+    ]);
+    let stats = serde_json::Value::Object(vec![
+        ("cells".into(), cells),
+        ("scheduler".into(), scheduler),
+        (
+            "grids".into(),
+            serde_json::Value::U64(state.grids.lock().expect("grids lock").len() as u64),
+        ),
+        (
+            "workers".into(),
+            serde_json::Value::U64(state.workers as u64),
+        ),
+    ]);
+    let body = render_json_line(&stats);
+    http::write_response(
+        &mut stream,
+        200,
+        "OK",
+        &[("Content-Type", "application/json")],
+        body.as_bytes(),
+    )
+}
+
+/// A JSON error body with the matching status.
+fn error_response(
+    mut stream: TcpStream,
+    status: u16,
+    reason: &str,
+    detail: &str,
+) -> io::Result<()> {
+    let body = render_json_line(&serde_json::Value::Object(vec![(
+        "error".into(),
+        serde_json::Value::Str(detail.into()),
+    )]));
+    http::write_response(
+        &mut stream,
+        status,
+        reason,
+        &[("Content-Type", "application/json")],
+        body.as_bytes(),
+    )
+}
+
+/// Compact JSON + the newline NDJSON wants.
+fn render_json_line(value: &serde_json::Value) -> String {
+    serde_json::to_string(value).expect("value rendering is infallible") + "\n"
+}

@@ -1,0 +1,78 @@
+//! Graceful-shutdown signal hook.
+//!
+//! The server drains on SIGTERM/SIGINT: in-flight cells finish, queued
+//! ones are abandoned, the store is left consistent. With no `libc`
+//! crate available offline, registration goes through a minimal raw
+//! binding to POSIX `signal(2)`; the handler itself only flips a static
+//! atomic flag (the one thing that is async-signal-safe), which the
+//! server binary's main loop polls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler on the first SIGTERM or SIGINT.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal has arrived since [`install`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test/driver hook: request shutdown as if a signal had arrived.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::ffi::c_int;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        // POSIX signal(2). `handler` is the function address; the libc
+        // crate is unavailable offline, hence the raw binding.
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        // Only async-signal-safe work here: flip the flag.
+        super::request_shutdown();
+    }
+
+    /// Registers the flag-setting handler for SIGTERM and SIGINT.
+    pub fn install() {
+        // SAFETY: `on_signal` is async-signal-safe (it only stores to an
+        // atomic), and `signal` is passed a valid function address.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal handling off-unix; ctrl-c kills the process as usual
+    /// (the store's atomic writes keep it consistent regardless).
+    pub fn install() {}
+}
+
+/// Registers the SIGTERM/SIGINT handler (no-op off unix). Idempotent.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sets_the_flag() {
+        install();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

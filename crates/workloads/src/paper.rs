@@ -34,6 +34,32 @@ pub fn all(scale: f64) -> Vec<WorkloadSpec> {
     ]
 }
 
+/// The paper workloads picked by (case-insensitive) name at the given
+/// scale, in the order the names are given; an empty selection means all
+/// five in Table 1 order. One entry point for every front end — the CLI's
+/// `--workloads` and the sweep server's grid requests resolve names here,
+/// so they cannot drift apart on spelling or ordering rules.
+pub fn select(scale: f64, names: &[String]) -> Result<Vec<WorkloadSpec>, String> {
+    let all = all(scale);
+    if names.is_empty() {
+        return Ok(all);
+    }
+    let mut picked = Vec::new();
+    for name in names {
+        let spec = all
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                format!(
+                    "unknown workload {name:?} (expected one of: oltp, dss, \
+                     apache, altavista, barnes)"
+                )
+            })?;
+        picked.push(spec.clone());
+    }
+    Ok(picked)
+}
+
 /// OLTP: DB2 with a TPC-C-like workload — many concurrent read/write
 /// transactions against warehouse records; a rich mix of migratory rows,
 /// shared indices and lock handoffs (43 % cache-to-cache).
@@ -207,6 +233,17 @@ mod tests {
     fn all_returns_table1_order() {
         let names: Vec<String> = all(0.01).into_iter().map(|w| w.name).collect();
         assert_eq!(names, vec!["OLTP", "DSS", "Apache", "AltaVista", "Barnes"]);
+    }
+
+    #[test]
+    fn select_resolves_names_case_insensitively() {
+        let picked = select(0.01, &["OLTP".into(), "barnes".into()]).unwrap();
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].name, "OLTP");
+        assert_eq!(picked[1].name, "Barnes");
+        assert_eq!(select(0.01, &[]).unwrap().len(), 5, "empty means all");
+        let err = select(0.01, &["specint".into()]).unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Integration tests for cell-store durability under concurrent writers,
+//! `CellStore::gc` housekeeping, and the `GridReport::merge` error paths
+//! (the success paths live in `resume_shard.rs`).
+
+use std::path::PathBuf;
+
+use tss::cellstore::CellStore;
+use tss::experiment::{ExperimentGrid, GridReport, MergeError, RunReport};
+use tss::{CellKey, ProtocolKind, TopologyKind};
+use tss_workloads::paper;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tss-gc-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// One real keyed cell to exercise the store with.
+fn one_cell() -> (CellKey, RunReport) {
+    let report = ExperimentGrid::new("gc-test")
+        .workloads(vec![paper::barnes(0.001)])
+        .topologies([TopologyKind::Torus4x4])
+        .protocols([ProtocolKind::TsSnoop])
+        .perturbation(3, 1)
+        .run()
+        .unwrap();
+    let cell = report.cells.into_iter().next().unwrap();
+    (cell.cell_key.unwrap(), cell)
+}
+
+// ------------------------------------------------- concurrent writers
+
+#[test]
+fn racing_writers_on_one_cell_never_expose_a_torn_entry() {
+    let dir = temp_dir("race");
+    let store = CellStore::open(&dir).unwrap();
+    let (key, cell) = one_cell();
+    store.store(key, &cell).unwrap();
+
+    // Writers hammer the same key while readers load it continuously:
+    // the write-to-temp + atomic-rename protocol means a reader sees
+    // either the old complete entry or the new complete entry, never a
+    // torn one (which `load` would report as a miss).
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let store = store.clone();
+            let cell = cell.clone();
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    store.store(key, &cell).expect("store write");
+                }
+            });
+        }
+        for _ in 0..2 {
+            let store = store.clone();
+            let want = cell.clone();
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    let got = store
+                        .load(key)
+                        .expect("an existing entry must never read as a miss");
+                    assert_eq!(got.workload, want.workload);
+                    assert_eq!(got.stats.runtime, want.stats.runtime);
+                }
+            });
+        }
+    });
+
+    // Housekeeping agrees: one live entry, nothing to purge.
+    let report = store.gc(true).unwrap();
+    assert_eq!(report.live, 1);
+    assert_eq!(report.stale + report.corrupt + report.purged, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------- merge errors
+
+/// A 2-workload grid whose shards the merge tests slice up.
+fn grid() -> ExperimentGrid {
+    ExperimentGrid::new("gc-merge-test")
+        .workloads(vec![paper::barnes(0.001), paper::dss(0.001)])
+        .topologies([TopologyKind::Torus4x4])
+        .perturbation(3, 1)
+}
+
+#[test]
+fn merge_rejects_overlapping_and_missing_shards() {
+    let part0 = grid().shard(0, 2).run().unwrap();
+    let part1 = grid().shard(1, 2).run().unwrap();
+
+    // The same shard twice is an overlap, not twice the confidence.
+    match GridReport::merge(vec![part0.clone(), part0.clone()]) {
+        Err(MergeError::DuplicateShard { index: 0 }) => {}
+        other => panic!("expected DuplicateShard(0), got {other:?}"),
+    }
+
+    // A missing slice cannot silently pose as a complete artifact.
+    match GridReport::merge(vec![part1.clone()]) {
+        Err(MergeError::MissingShard { index: 0, total: 2 }) => {}
+        other => panic!("expected MissingShard(0 of 2), got {other:?}"),
+    }
+
+    // Sanity: the honest pair still merges.
+    assert!(GridReport::merge(vec![part0, part1]).is_ok());
+}
+
+#[test]
+fn merge_rejects_parts_from_different_grids() {
+    let part0 = grid().shard(0, 2).run().unwrap();
+    // Same name and shard scheme, different protocol axis.
+    let foreign = grid()
+        .protocols([ProtocolKind::TsSnoop, ProtocolKind::DirOpt])
+        .shard(1, 2)
+        .run()
+        .unwrap();
+    match GridReport::merge(vec![part0, foreign]) {
+        Err(MergeError::GridMismatch {
+            field: "protocols",
+            shard: 1,
+        }) => {}
+        other => panic!("expected a protocols GridMismatch, got {other:?}"),
+    }
+}
