@@ -41,10 +41,12 @@ use tss_workloads::paper;
 
 /// Every bench this binary can run, in run order (the `--only` filter's
 /// vocabulary).
-const BENCH_NAMES: [&str; 6] = [
+const BENCH_NAMES: [&str; 8] = [
     "event_queue_micro",
     "fast_cell_oltp_butterfly",
     "detailed_cell_oltp_torus",
+    "detailed_torus256_serial",
+    "detailed_torus256_parallel",
     "fig3_fast_grid",
     "detailed_contention_grid",
     "remote_fast_grid",
@@ -54,6 +56,7 @@ struct Args {
     scale: f64,
     seeds: u64,
     seed: u64,
+    threads: usize,
     only: Option<Vec<String>>,
     json: PathBuf,
     check: Option<PathBuf>,
@@ -65,9 +68,13 @@ options:
   --scale <f>       workload scale factor (default 1/64)
   --seeds <n>       perturbation runs per grid cell (default 3)
   --seed <n>        workload seed (default 0)
+  --threads <n>     frontier workers for detailed_torus256_parallel
+                    (default 4; results are byte-identical to serial —
+                    this knob only moves wall clock)
   --only <list>     run only these comma-separated benches (default all;
                     names: event_queue_micro, fast_cell_oltp_butterfly,
-                    detailed_cell_oltp_torus, fig3_fast_grid,
+                    detailed_cell_oltp_torus, detailed_torus256_serial,
+                    detailed_torus256_parallel, fig3_fast_grid,
                     detailed_contention_grid, remote_fast_grid)
   --json <path>     where to merge the results (default BENCH_hotpath.json)
   --check <path>    compare ns_per_event against this baseline and fail on blow-up
@@ -79,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         scale: tss_bench::DEFAULT_SCALE,
         seeds: tss_bench::DEFAULT_SEEDS,
         seed: 0,
+        threads: 4,
         only: None,
         json: PathBuf::from("BENCH_hotpath.json"),
         check: None,
@@ -110,6 +118,11 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("bad --seeds {value:?}"))?;
             }
             "--seed" => args.seed = value.parse().map_err(|_| format!("bad --seed {value:?}"))?,
+            "--threads" => {
+                args.threads = value
+                    .parse()
+                    .map_err(|_| format!("bad --threads {value:?}"))?;
+            }
             "--only" => {
                 let names: Vec<String> = value.split(',').map(|n| n.trim().to_string()).collect();
                 for name in &names {
@@ -238,6 +251,48 @@ fn detailed_cell(args: &Args) -> Measurement {
     );
     Measurement {
         name: "detailed_cell_oltp_torus",
+        wall_ms,
+        events: result.stats.events_processed,
+        seed: args.seed,
+    }
+}
+
+/// The big-cell bench the parallel event loop exists for: a 256-node
+/// torus under the detailed model, where each token wave is a
+/// 512-event instant and the serial loop is the bottleneck. Run twice
+/// (serial, then `--threads` workers) so the artifact carries the
+/// parallel speedup as the ratio of the two ns/event entries.
+fn torus256_cell(args: &Args, threads: usize, name: &'static str) -> Measurement {
+    let (wall_ms, result) = time(|| {
+        System::builder()
+            .protocol(ProtocolKind::TsSnoop)
+            .topology(TopologyKind::Torus {
+                width: 16,
+                height: 16,
+            })
+            // 256 endpoints broadcast into each switch; the 16-node
+            // default buffer provision is far too shallow here.
+            .network(NetworkModelSpec::Detailed {
+                link_occupancy: tss_sim::Duration::from_ns(5),
+                initial_slack: NetworkModelSpec::DEFAULT_SLACK,
+                buffer_depth: 4096,
+            })
+            .workload(paper::oltp(args.scale))
+            .seed(args.seed)
+            .threads(threads)
+            .build()
+            .expect("valid config")
+            .run()
+    });
+    println!(
+        "  [{name}] events {}  parallel instants {} covering {} net events ({} threads)",
+        result.stats.events_processed,
+        result.perf.parallel_instants,
+        result.perf.parallel_events,
+        result.perf.parallel_threads
+    );
+    Measurement {
+        name,
         wall_ms,
         events: result.stats.events_processed,
         seed: args.seed,
@@ -417,6 +472,16 @@ fn main() {
     }
     if wants("detailed_cell_oltp_torus") {
         measurements.push(detailed_cell(&args));
+    }
+    if wants("detailed_torus256_serial") {
+        measurements.push(torus256_cell(&args, 0, "detailed_torus256_serial"));
+    }
+    if wants("detailed_torus256_parallel") {
+        measurements.push(torus256_cell(
+            &args,
+            args.threads,
+            "detailed_torus256_parallel",
+        ));
     }
     if wants("fig3_fast_grid") {
         measurements.push(grid_bench("fig3_fast_grid", &args, NetworkModelSpec::Fast));

@@ -785,6 +785,7 @@ pub struct ExperimentGrid {
     resume: Option<PathBuf>,
     shard: ShardSpec,
     gt_origin: u64,
+    cell_threads: usize,
 }
 
 impl ExperimentGrid {
@@ -808,6 +809,7 @@ impl ExperimentGrid {
             resume: None,
             shard: ShardSpec::FULL,
             gt_origin: 0,
+            cell_threads: 0,
         }
     }
 
@@ -907,6 +909,19 @@ impl ExperimentGrid {
         self
     }
 
+    /// Runs each cell's detailed address network on `threads` frontier
+    /// workers (0/1 = serial). Like [`ExperimentGrid::gt_origin`], a
+    /// harness knob excluded from [`CellKey`]: parallel cells are
+    /// byte-identical to serial ones (asserted by the determinism
+    /// battery and the CI thread matrix), so cached cells stay valid
+    /// across thread counts. Distinct from [`ExperimentGrid::threads`],
+    /// which fans *cells* out across grid workers; this knob parallelizes
+    /// *inside* one cell — the only way to speed up a single huge cell.
+    pub fn cell_threads(mut self, threads: usize) -> Self {
+        self.cell_threads = threads;
+        self
+    }
+
     /// Number of cells this grid will run.
     pub fn cell_count(&self) -> usize {
         self.workloads.len()
@@ -970,6 +985,7 @@ impl ExperimentGrid {
                                 verify: self.verify,
                                 record_observations: false,
                                 gt_origin: self.gt_origin,
+                                threads: self.cell_threads,
                             };
                             // Fail fast on any invalid cell, including the
                             // cells other shards would run.
@@ -1283,11 +1299,15 @@ mod tests {
             CellKey::compute(&cfg, &paper::barnes(1.0), 3),
         );
 
-        // ...and the harness knobs that cannot are canonicalised out.
+        // ...and the harness knobs that cannot are canonicalised out:
+        // a parallel (or gt-shifted) run is byte-identical to the serial
+        // origin-0 run, so cached cells must stay valid across them.
         let mut same = cfg.clone();
         same.verify = true;
         same.record_observations = true;
         same.perturbation_stream = 7;
+        same.gt_origin = u64::MAX - 3;
+        same.threads = 8;
         assert_eq!(key, CellKey::compute(&same, &spec, 3));
     }
 

@@ -73,8 +73,12 @@ mod config;
 mod cpu;
 pub mod experiment;
 pub mod methodology;
-pub mod scheduler;
 mod system;
+
+/// The work-stealing scheduler now lives in `tss_sim` (the in-cell
+/// frontier pool needs it below this crate); re-exported here so
+/// `tss::scheduler::*` paths keep working.
+pub use tss_sim::scheduler;
 
 pub use builder::SystemBuilder;
 pub use cellstore::{CellStore, GcReport};
@@ -83,5 +87,5 @@ pub use cpu::Cpu;
 pub use experiment::{
     CellKey, CellPlan, ExperimentGrid, GridPlan, GridReport, MergeError, RunReport, ShardSpec,
 };
-pub use scheduler::{SchedulerStats, WorkStealScheduler};
 pub use system::{RunResult, System, SystemStats, TrafficSummary};
+pub use tss_sim::scheduler::{SchedulerStats, WorkStealScheduler};

@@ -133,6 +133,13 @@ pub struct HostPerf {
     /// Idle token waves the detailed address network skipped in closed
     /// form instead of simulating (0 under the fast model).
     pub waves_skipped: u64,
+    /// Simulated instants the detailed address network executed on the
+    /// parallel frontier pool (0 when serial or under the fast model).
+    pub parallel_instants: u64,
+    /// Events processed inside those parallel instants.
+    pub parallel_events: u64,
+    /// Frontier-pool worker threads attached (0 when serial).
+    pub parallel_threads: u64,
 }
 
 #[derive(Debug)]
@@ -291,6 +298,7 @@ impl System {
                 &cfg.timing,
                 Arc::clone(&fabric),
                 tss_sim::Gt::from_raw(cfg.gt_origin),
+                cfg.threads,
             )
         });
 
@@ -443,6 +451,11 @@ impl System {
             events_processed: self.events.events_processed(),
         };
         let events = stats.events_processed;
+        let par = self
+            .addr
+            .as_ref()
+            .map(|a| a.parallel_stats())
+            .unwrap_or_default();
         RunResult {
             stats,
             observations: self.observations,
@@ -450,6 +463,9 @@ impl System {
                 events,
                 action_allocs_avoided: allocs_avoided,
                 waves_skipped: self.addr.as_ref().map_or(0, |a| a.waves_skipped()),
+                parallel_instants: par.instants,
+                parallel_events: par.events,
+                parallel_threads: par.threads,
             },
         }
     }
@@ -719,5 +735,34 @@ mod tests {
         assert!(r.stats.runtime.as_ns() > 0);
         assert!(r.stats.miss_latency.count() > 0);
         assert!(r.stats.data_touched_mb > 0.0);
+    }
+
+    /// `GridReport` bytes are pinned across PRs, so [`SystemStats`] must
+    /// keep exactly its historical field set — host-side counters (the
+    /// parallel frontier ones in particular) belong in [`HostPerf`],
+    /// which is never serialized.
+    #[test]
+    fn parallel_counters_stay_out_of_serialized_stats() {
+        let r = System::run_traces(
+            cfg(ProtocolKind::TsSnoop, TopologyKind::Torus4x4),
+            micro::ping_pong(10, 20),
+        );
+        let serde::Value::Object(entries) = serde::Serialize::to_value(&r.stats) else {
+            panic!("SystemStats must serialize as an object");
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "runtime",
+                "protocol",
+                "traffic",
+                "data_touched_mb",
+                "miss_latency",
+                "miss_latency_per_node",
+                "events_processed",
+            ],
+            "SystemStats grew or lost a serialized field — GridReport bytes would change"
+        );
     }
 }

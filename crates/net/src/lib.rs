@@ -56,7 +56,8 @@ mod unicast;
 pub use fast::{Delivery, FastOrderedNet, HopTiming, OrderedNetTiming};
 pub use ids::{LinkId, NodeId, Vertex};
 pub use token::{
-    DetailedDelivery, DetailedNet, DetailedNetConfig, DetailedNetStats, MultiPlaneNet, SwitchCore,
+    DetailedDelivery, DetailedNet, DetailedNetConfig, DetailedNetStats, MultiPlaneNet, ParStats,
+    SwitchCore, PAR_THRESHOLD,
 };
 pub use topology::{BroadcastTree, Fabric, FabricKind, Link, TreeEdge};
 pub use traffic::{MsgClass, TrafficLedger, MSG_CLASSES};

@@ -18,13 +18,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use tss_sim::pool::FrontierPool;
 use tss_sim::{Gt, GtKey, Time};
 
 use crate::ids::NodeId;
 use crate::topology::Fabric;
 use crate::traffic::{MsgClass, TrafficLedger};
 
-use super::net::{DetailedDelivery, DetailedNet, DetailedNetConfig};
+use super::net::{DetailedDelivery, DetailedNet, DetailedNetConfig, ParStats};
 
 #[derive(Debug)]
 struct MergeEntry<P> {
@@ -114,6 +115,28 @@ impl<P> MultiPlaneNet<P> {
         }
     }
 
+    /// Counters of the parallel frontier path, aggregated over planes
+    /// (instants and events sum; the thread count is the max attached).
+    pub fn parallel_stats(&self) -> ParStats {
+        let mut agg = ParStats::default();
+        for p in &self.planes {
+            agg.absorb(&p.parallel_stats());
+        }
+        agg
+    }
+}
+
+impl<P: Send + Sync + 'static> MultiPlaneNet<P> {
+    /// Attaches one frontier pool to every plane (see
+    /// [`DetailedNet::set_pool`]); planes still run sequentially relative
+    /// to each other, but each plane's large instants fan out over the
+    /// pool.
+    pub fn set_pool(&mut self, pool: &Arc<FrontierPool>) {
+        for p in &mut self.planes {
+            p.set_pool(Arc::clone(pool));
+        }
+    }
+
     /// Broadcasts `payload` from `src` on the next plane in round-robin
     /// order; returns `(plane, ordering time)`.
     pub fn inject(&mut self, now: Time, src: NodeId, payload: P) -> (usize, Gt) {
@@ -169,7 +192,9 @@ impl<P> MultiPlaneNet<P> {
             p.run_until(t);
         }
     }
+}
 
+impl<P> MultiPlaneNet<P> {
     /// Collects per-plane deliveries into the per-endpoint merge heaps and
     /// releases everything below the min-GT frontier, stamped `at`.
     fn collect_and_release(&mut self, at: Time) {

@@ -1,9 +1,36 @@
 //! Event-driven simulation of the full token-passing address network.
+//!
+//! # Conservative parallel execution
+//!
+//! The event loop can optionally run one simulated instant's events in
+//! parallel ([`DetailedNet::set_pool`]): the whole head instant is popped
+//! from the calendar, its events are split by **owner vertex** (a
+//! `Deliver` belongs to the link's destination, a `LinkFree` to the
+//! link's source) across vertex partitions, each partition processes its
+//! share concurrently against its own slice of the mutable state, and
+//! the emitted events/deliveries are merged back in the exact order the
+//! serial loop would have produced. Three facts make the result
+//! byte-identical to a serial run:
+//!
+//! 1. every piece of state an event mutates (its owner's switch core and
+//!    reorder queue, the occupancy of the owner's *outgoing* links)
+//!    belongs to exactly one partition, so concurrent partitions never
+//!    touch each other's state;
+//! 2. no handler ever schedules *at* the current instant (every emission
+//!    is at least one link latency or occupancy period in the future),
+//!    so the popped instant is closed and partitions need no intra-
+//!    instant synchronization — the guarantee-time machinery itself is
+//!    the conservative-PDES lookahead;
+//! 3. the merge replays each partition's emissions in original pop order
+//!    of their parent events, so calendar FIFO sequence numbers — and
+//!    with them every later tie-break — are assigned exactly as in the
+//!    serial run.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
+use tss_sim::pool::{FrontierPool, Job};
 use tss_sim::stats::LatencyStat;
 use tss_sim::{Duration, EventQueue, Gt, GtKey, Time};
 
@@ -166,6 +193,186 @@ struct EndpointExtra<P> {
     next_seq: u64,
 }
 
+impl<P> Default for EndpointExtra<P> {
+    fn default() -> Self {
+        EndpointExtra {
+            reorder: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+/// Read-only per-plane topology tables, shared (`Arc`) between the net
+/// and every partition worker.
+#[derive(Debug)]
+struct PlaneTopo {
+    out_port_idx: Vec<u32>,
+    /// Per-link `(destination vertex, destination in-port)` — the two
+    /// facts every delivery needs, packed into one lookup.
+    link_dest: Vec<(u32, u32)>,
+    vertex_out_links: Vec<Vec<LinkId>>,
+    num_nodes: usize,
+}
+
+/// Everything one event's processing emits, buffered instead of applied
+/// directly: the serial loop applies it after each event, the parallel
+/// loop merges whole per-partition batches in parent-event order.
+#[derive(Debug)]
+struct StepOut<P> {
+    /// Events to schedule, in emission order (always strictly after the
+    /// instant being processed).
+    emissions: Vec<(Time, Ev<P>)>,
+    deliveries: Vec<DetailedDelivery<P>>,
+    /// Per processed event: (emissions len, deliveries len) afterwards —
+    /// the merge uses these to interleave partitions by parent order.
+    marks: Vec<(u32, u32)>,
+    /// Endpoint-copies processed (each also decrements the outstanding
+    /// count by one).
+    processed: u64,
+    parked_delta: isize,
+    link_free_delta: isize,
+    buffer_high_water: usize,
+    ordering_delay: LatencyStat,
+}
+
+impl<P> Default for StepOut<P> {
+    fn default() -> Self {
+        StepOut {
+            emissions: Vec::new(),
+            deliveries: Vec::new(),
+            marks: Vec::new(),
+            processed: 0,
+            parked_delta: 0,
+            link_free_delta: 0,
+            buffer_high_water: 0,
+            ordering_delay: LatencyStat::new(),
+        }
+    }
+}
+
+impl<P> StepOut<P> {
+    /// Resets the scalar effects after they were applied (the vectors are
+    /// drained by the caller, keeping their allocations).
+    fn reset(&mut self) {
+        debug_assert!(self.emissions.is_empty() && self.deliveries.is_empty());
+        self.marks.clear();
+        self.processed = 0;
+        self.parked_delta = 0;
+        self.link_free_delta = 0;
+        self.buffer_high_water = 0;
+        self.ordering_delay = LatencyStat::new();
+    }
+}
+
+/// Counters describing how much of a detailed run executed on the
+/// parallel frontier path (serial fallback instants — below the
+/// [`PAR_THRESHOLD`] event count — are not counted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Simulated instants whose events ran on the frontier pool.
+    pub instants: u64,
+    /// Events processed inside those instants.
+    pub events: u64,
+    /// Worker threads of the attached pool (0 = serial).
+    pub threads: u64,
+}
+
+impl ParStats {
+    /// Folds another counter set into this one (plane aggregation).
+    pub fn absorb(&mut self, other: &ParStats) {
+        self.instants += other.instants;
+        self.events += other.events;
+        self.threads = self.threads.max(other.threads);
+    }
+}
+
+/// A vertex → partition assignment plus the ownership lists derived from
+/// it: the vertices of each partition and the links they *send* on
+/// (whose occupancy state they alone may touch).
+#[derive(Debug)]
+struct Partitions {
+    of_vertex: Vec<u32>,
+    vertices: Vec<Vec<u32>>,
+    links: Vec<Vec<u32>>,
+}
+
+impl Partitions {
+    /// Builds the ownership lists for `count` partitions from an explicit
+    /// per-vertex assignment. Only links of `plane` are listed — other
+    /// planes' occupancy slots are never touched through this net.
+    fn new(of_vertex: Vec<u32>, count: usize, fabric: &Fabric, plane: usize) -> Self {
+        let mut vertices: Vec<Vec<u32>> = vec![Vec::new(); count];
+        for (v, &p) in of_vertex.iter().enumerate() {
+            vertices[p as usize].push(v as u32);
+        }
+        let mut links: Vec<Vec<u32>> = vec![Vec::new(); count];
+        for (i, l) in fabric.links().iter().enumerate() {
+            if l.plane == plane as u32 {
+                links[of_vertex[l.from.index()] as usize].push(i as u32);
+            }
+        }
+        Partitions {
+            of_vertex,
+            vertices,
+            links,
+        }
+    }
+}
+
+/// One partition's working state: full-length mirrors of the mutable
+/// engine arrays, with only the owned entries populated (swapped in for
+/// the duration of one instant). Full-length mirrors keep the engine's
+/// indexing identical between serial and parallel runs at the cost of
+/// `partitions × links` mostly-empty slots — kilobytes even for a
+/// 1024-node fabric.
+#[derive(Debug)]
+struct PartScratch<P> {
+    cores: Vec<Option<SwitchCore<FlightTxn<P>>>>,
+    endpoints: Vec<EndpointExtra<P>>,
+    next_free: Vec<Time>,
+    free_scheduled: Vec<bool>,
+    /// This partition's slice of the instant, in pop order.
+    events: Vec<Ev<P>>,
+    out: StepOut<P>,
+}
+
+impl<P> PartScratch<P> {
+    fn new(num_vertices: usize, num_nodes: usize, num_links: usize) -> Self {
+        PartScratch {
+            cores: (0..num_vertices).map(|_| None).collect(),
+            endpoints: (0..num_nodes).map(|_| EndpointExtra::default()).collect(),
+            next_free: vec![Time::ZERO; num_links],
+            free_scheduled: vec![false; num_links],
+            events: Vec::new(),
+            out: StepOut::default(),
+        }
+    }
+}
+
+/// The parallel-execution attachment of a [`DetailedNet`].
+#[derive(Debug)]
+struct ParState<P> {
+    pool: Arc<FrontierPool>,
+    parts: Partitions,
+    /// One persistent scratch per partition (`None` while lent to a job).
+    scratch: Vec<Option<PartScratch<P>>>,
+    /// Minimum events in an instant before it is dispatched to the pool
+    /// (smaller instants run serially on the caller). Sized to the plane's
+    /// full token wave at construction; see [`PAR_THRESHOLD`].
+    threshold: usize,
+    stats: ParStats,
+}
+
+/// The floor of the parallel-dispatch threshold: instants with fewer
+/// events than this always run on the caller thread even when a pool is
+/// attached. The effective threshold is `max(PAR_THRESHOLD, plane links
+/// / 2)` — dispatch overhead (worker wakeups, one boxed job and channel
+/// round-trip per partition) is paid per *instant*, so only instants on
+/// the order of a full token wave (one event per plane link) are worth
+/// fanning out. Byte-identity is unaffected — both paths produce the
+/// same bytes — so the cutover is a pure perf knob.
+pub const PAR_THRESHOLD: usize = 8;
+
 /// The detailed (switch-by-switch, token-by-token) timestamp network.
 ///
 /// Every rule of §2.2 executes literally: rule-1 slack bumps at switch
@@ -200,11 +407,9 @@ pub struct DetailedNet<P> {
     now: Time,
     next_free: Vec<Time>,
     free_scheduled: Vec<bool>,
-    out_port_idx: Vec<u32>,
-    /// Per-link `(destination vertex, destination in-port)` — the two
-    /// facts every delivery needs, packed into one lookup.
-    link_dest: Vec<(u32, u32)>,
-    vertex_out_links: Vec<Vec<LinkId>>,
+    /// Shared read-only routing tables (one `Arc` per plane, cloned into
+    /// every partition job).
+    topo: Arc<PlaneTopo>,
     /// Transaction copies parked in endpoint reorder queues (skip the
     /// per-wave per-node reorder peeks when zero).
     reorder_parked: usize,
@@ -233,6 +438,14 @@ pub struct DetailedNet<P> {
     link_stamp: Vec<u64>,
     /// Generation counter for `link_stamp`.
     ff_generation: u64,
+    /// Reusable effect buffer for the serial path.
+    scratch_out: StepOut<P>,
+    /// Reusable head-instant buffer.
+    instant_buf: Vec<Ev<P>>,
+    /// Partition of each event of the instant being merged, in pop order.
+    parent_order: Vec<u32>,
+    /// Attached thread pool + partitioning (`None` = serial).
+    par: Option<ParState<P>>,
 }
 
 impl<P> DetailedNet<P> {
@@ -290,22 +503,23 @@ impl<P> DetailedNet<P> {
             .enumerate()
             .map(|(i, l)| (l.to.0, in_port_idx[i]))
             .collect();
+        let topo = Arc::new(PlaneTopo {
+            out_port_idx,
+            link_dest,
+            vertex_out_links,
+            num_nodes: fabric.num_nodes(),
+        });
         let ledger = TrafficLedger::new(&fabric);
         let mut net = DetailedNet {
             endpoints: (0..fabric.num_nodes())
-                .map(|_| EndpointExtra {
-                    reorder: BinaryHeap::new(),
-                    next_seq: 0,
-                })
+                .map(|_| EndpointExtra::default())
                 .collect(),
             cores,
             events: EventQueue::new(),
             now: Time::ZERO,
             next_free: vec![Time::ZERO; fabric.links().len()],
             free_scheduled: vec![false; fabric.links().len()],
-            out_port_idx,
-            link_dest,
-            vertex_out_links,
+            topo,
             reorder_parked: 0,
             deliveries: Vec::new(),
             ledger,
@@ -319,69 +533,18 @@ impl<P> DetailedNet<P> {
             buffer_high_water: 0,
             link_stamp: vec![0; fabric.links().len()],
             ff_generation: 0,
+            scratch_out: StepOut::default(),
+            instant_buf: Vec::new(),
+            parent_order: Vec::new(),
+            par: None,
             fabric,
             cfg,
         };
         // Initial kick: everything can fire once at t = 0.
         for v in 0..nv {
-            net.cascade(Vertex(v as u32));
+            net.with_engine(|eng| eng.cascade(Vertex(v as u32)));
         }
         net
-    }
-
-    /// Broadcasts `payload` from `src` at time `now`, returning the
-    /// assigned ordering time.
-    ///
-    /// Internally advances the simulation to `now` first, so injections
-    /// must be presented in non-decreasing time order.
-    pub fn inject(&mut self, now: Time, src: NodeId, payload: P) -> Gt {
-        self.run_until(now);
-        self.now = now;
-        let max_depth = self.fabric.tree(self.cfg.plane, src).max_depth_links as u64;
-        let gt = self.core(Vertex::node(src)).gt();
-        let ot = gt.wrapping_add(max_depth + self.cfg.initial_slack);
-        let seq = self.endpoints[src.index()].next_seq;
-        self.endpoints[src.index()].next_seq += 1;
-        let payload = Arc::new(payload);
-
-        // The source snoops its own transaction through the network like
-        // everyone else: the broadcast tree re-delivers to the root.
-        let ft = FlightTxn {
-            src,
-            seq,
-            ot,
-            slack: self.cfg.initial_slack,
-            injected_at: now,
-            payload,
-        };
-        self.forward_branches(Vertex::node(src), ft);
-        self.ledger
-            .record_tree(self.fabric.tree(self.cfg.plane, src), MsgClass::Request);
-        self.injected += 1;
-        self.copies_outstanding += self.fabric.num_nodes() as u64;
-        ot
-    }
-
-    /// Advances the simulation through every event at or before `t`.
-    pub fn run_until(&mut self, t: Time) {
-        while let Some(at) = self.events.peek_time() {
-            if at > t {
-                break;
-            }
-            let (at, ev) = self.events.pop().expect("peeked event exists");
-            self.now = at;
-            match ev {
-                Ev::Deliver { link, item } => self.deliver(link, item),
-                Ev::LinkFree { link } => {
-                    self.free_scheduled[link.index()] = false;
-                    self.link_free_pending -= 1;
-                    self.link_freed(link);
-                }
-            }
-        }
-        if t > self.now {
-            self.now = t;
-        }
     }
 
     /// Skips idle lock-step token waves in closed form, advancing the
@@ -521,6 +684,428 @@ impl<P> DetailedNet<P> {
         }
     }
 
+    /// Counters of the parallel frontier path (all zero while no pool is
+    /// attached).
+    pub fn parallel_stats(&self) -> ParStats {
+        self.par.as_ref().map(|p| p.stats).unwrap_or_default()
+    }
+
+    fn core_ref(&self, v: Vertex) -> &SwitchCore<FlightTxn<P>> {
+        self.cores[v.index()]
+            .as_ref()
+            .expect("vertex participates in this plane")
+    }
+
+    /// The vertex whose state processing `ev` mutates — the partition
+    /// key of the parallel path.
+    fn owner(&self, ev: &Ev<P>) -> usize {
+        match ev {
+            Ev::Deliver { link, .. } => self.topo.link_dest[link.index()].0 as usize,
+            Ev::LinkFree { link } => self.fabric.links()[link.index()].from.index(),
+        }
+    }
+
+    /// Runs `f` on the unified step engine over this net's own state and
+    /// applies the emitted effects — the serial execution path.
+    fn with_engine(&mut self, f: impl FnOnce(&mut EngineState<'_, P>)) {
+        let mut out = std::mem::take(&mut self.scratch_out);
+        {
+            let mut eng = EngineState {
+                cfg: &self.cfg,
+                fabric: &self.fabric,
+                topo: &self.topo,
+                cores: &mut self.cores,
+                endpoints: &mut self.endpoints,
+                next_free: &mut self.next_free,
+                free_scheduled: &mut self.free_scheduled,
+                parked: self.reorder_parked,
+                now: self.now,
+                out: &mut out,
+            };
+            f(&mut eng);
+        }
+        self.apply(&mut out);
+        self.scratch_out = out;
+    }
+
+    /// Applies one engine batch: emissions are scheduled in emission
+    /// order (reproducing the calendar sequence numbers a direct-mutation
+    /// run would have assigned), deliveries are appended, counters folded.
+    fn apply(&mut self, out: &mut StepOut<P>) {
+        for (at, ev) in out.emissions.drain(..) {
+            debug_assert!(at > self.now, "emission at the open instant");
+            self.events.schedule(at, ev);
+        }
+        self.processed += out.processed;
+        self.copies_outstanding -= out.processed;
+        self.deliveries.append(&mut out.deliveries);
+        self.reorder_parked = (self.reorder_parked as isize + out.parked_delta) as usize;
+        self.link_free_pending = (self.link_free_pending as isize + out.link_free_delta) as usize;
+        self.buffer_high_water = self.buffer_high_water.max(out.buffer_high_water);
+        self.ordering_delay.merge(&out.ordering_delay);
+        out.reset();
+    }
+
+    /// Processes one popped instant on the caller thread, event by event
+    /// (the pre-parallel loop, re-expressed through the shared engine).
+    fn run_instant_serial(&mut self, buf: &mut Vec<Ev<P>>) {
+        for ev in buf.drain(..) {
+            self.with_engine(|eng| eng.step(ev));
+        }
+    }
+}
+
+impl<P: Send + Sync + 'static> DetailedNet<P> {
+    /// Broadcasts `payload` from `src` at time `now`, returning the
+    /// assigned ordering time.
+    ///
+    /// Internally advances the simulation to `now` first, so injections
+    /// must be presented in non-decreasing time order.
+    pub fn inject(&mut self, now: Time, src: NodeId, payload: P) -> Gt {
+        self.run_until(now);
+        self.now = now;
+        let max_depth = self.fabric.tree(self.cfg.plane, src).max_depth_links as u64;
+        let gt = self.core_ref(Vertex::node(src)).gt();
+        let ot = gt.wrapping_add(max_depth + self.cfg.initial_slack);
+        let seq = self.endpoints[src.index()].next_seq;
+        self.endpoints[src.index()].next_seq += 1;
+        let payload = Arc::new(payload);
+
+        // The source snoops its own transaction through the network like
+        // everyone else: the broadcast tree re-delivers to the root.
+        let ft = FlightTxn {
+            src,
+            seq,
+            ot,
+            slack: self.cfg.initial_slack,
+            injected_at: now,
+            payload,
+        };
+        self.with_engine(|eng| eng.forward_branches(Vertex::node(src), ft));
+        self.ledger
+            .record_tree(self.fabric.tree(self.cfg.plane, src), MsgClass::Request);
+        self.injected += 1;
+        self.copies_outstanding += self.fabric.num_nodes() as u64;
+        ot
+    }
+
+    /// Advances the simulation through every event at or before `t`,
+    /// one whole instant at a time. With a pool attached
+    /// ([`DetailedNet::set_pool`]) large instants run partitioned across
+    /// threads; the observable state evolution is identical either way.
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(at) = self.events.peek_time() {
+            if at > t {
+                break;
+            }
+            let mut buf = std::mem::take(&mut self.instant_buf);
+            self.events.pop_head_instant_into(&mut buf);
+            self.now = at;
+            if self.par.as_ref().is_some_and(|p| buf.len() >= p.threshold) {
+                self.run_instant_parallel(&mut buf);
+            } else {
+                self.run_instant_serial(&mut buf);
+            }
+            self.instant_buf = buf;
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Attaches a frontier pool: subsequent instants at or above the
+    /// dispatch threshold (see [`PAR_THRESHOLD`]) run partitioned across
+    /// the pool's workers, with vertices split into contiguous chunks
+    /// (one per worker). Results are byte-identical to the serial run.
+    pub fn set_pool(&mut self, pool: Arc<FrontierPool>) {
+        let nv = self.fabric.num_nodes() + self.fabric.num_switches();
+        let count = pool.workers();
+        let of_vertex = (0..nv).map(|v| (v * count / nv) as u32).collect();
+        self.set_partitions(pool, of_vertex);
+    }
+
+    /// Attaches a frontier pool with an **explicit** vertex → partition
+    /// assignment (any number of partitions; they are scheduled onto the
+    /// pool's workers). This is the determinism-test knob: *every*
+    /// assignment must produce byte-identical results, so the property
+    /// suite feeds it random ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of_vertex` does not assign every vertex of the fabric.
+    pub fn set_partitions(&mut self, pool: Arc<FrontierPool>, of_vertex: Vec<u32>) {
+        let nv = self.fabric.num_nodes() + self.fabric.num_switches();
+        assert_eq!(of_vertex.len(), nv, "one partition id per vertex");
+        let count = of_vertex.iter().map(|&p| p as usize + 1).max().unwrap_or(1);
+        let parts = Partitions::new(of_vertex, count, &self.fabric, self.cfg.plane);
+        let (nodes, links) = (self.fabric.num_nodes(), self.fabric.links().len());
+        // Dispatch overhead is per instant, so only instants comparable
+        // to a full token wave (one event per plane link) are worth
+        // fanning out; everything smaller stays on the caller thread.
+        let plane_links: usize = parts.links.iter().map(Vec::len).sum();
+        let threshold = PAR_THRESHOLD.max(plane_links / 2);
+        let stats = ParStats {
+            threads: pool.workers() as u64,
+            ..ParStats::default()
+        };
+        self.par = Some(ParState {
+            pool,
+            scratch: (0..count)
+                .map(|_| Some(PartScratch::new(nv, nodes, links)))
+                .collect(),
+            parts,
+            threshold,
+            stats,
+        });
+    }
+
+    /// Processes one popped instant across the frontier pool: classify
+    /// by owner partition, lend each partition its slice of the state,
+    /// step all partitions concurrently, then merge emissions and
+    /// deliveries back in parent-event order (see the module docs for
+    /// why this is byte-identical to the serial loop).
+    fn run_instant_parallel(&mut self, buf: &mut Vec<Ev<P>>) {
+        let mut par = self.par.take().expect("checked by caller");
+        par.stats.instants += 1;
+        par.stats.events += buf.len() as u64;
+        let num_nodes = self.fabric.num_nodes();
+
+        // Classify in pop order; each partition's slice stays in order.
+        self.parent_order.clear();
+        for ev in buf.drain(..) {
+            let p = par.parts.of_vertex[self.owner(&ev)];
+            par.scratch[p as usize]
+                .as_mut()
+                .expect("scratch parked between instants")
+                .events
+                .push(ev);
+            self.parent_order.push(p);
+        }
+
+        // Lend each active partition its owned state. The first active
+        // partition is held back and stepped inline on this thread (one
+        // fewer dispatch, and the caller contributes work instead of
+        // sleeping on the merge channel); the rest go to the pool.
+        let (tx, rx) = mpsc::channel::<(usize, PartScratch<P>)>();
+        let mut launched: Vec<usize> = Vec::new();
+        let mut inline: Option<(usize, PartScratch<P>)> = None;
+        let mut jobs: Vec<Job> = Vec::new();
+        for p in 0..par.scratch.len() {
+            if par.scratch[p]
+                .as_ref()
+                .expect("scratch parked between instants")
+                .events
+                .is_empty()
+            {
+                continue;
+            }
+            let mut s = par.scratch[p].take().expect("checked non-empty");
+            for &v in &par.parts.vertices[p] {
+                let v = v as usize;
+                std::mem::swap(&mut self.cores[v], &mut s.cores[v]);
+                if v < num_nodes {
+                    std::mem::swap(&mut self.endpoints[v], &mut s.endpoints[v]);
+                }
+            }
+            for &li in &par.parts.links[p] {
+                let li = li as usize;
+                s.next_free[li] = self.next_free[li];
+                s.free_scheduled[li] = self.free_scheduled[li];
+            }
+            launched.push(p);
+            if inline.is_none() {
+                inline = Some((p, s));
+                continue;
+            }
+            let tx = tx.clone();
+            let cfg = self.cfg;
+            let fabric = Arc::clone(&self.fabric);
+            let topo = Arc::clone(&self.topo);
+            let now = self.now;
+            let parked = self.reorder_parked;
+            jobs.push(Box::new(move || {
+                let mut s = s;
+                step_partition(&cfg, &fabric, &topo, &mut s, now, parked);
+                let _ = tx.send((p, s));
+            }) as Job);
+        }
+        drop(tx);
+        let dispatched = jobs.len();
+        if dispatched > 0 {
+            assert!(par.pool.submit(jobs), "frontier pool is shutting down");
+        }
+        if let Some((p, mut s)) = inline {
+            step_partition(
+                &self.cfg,
+                &self.fabric,
+                &self.topo,
+                &mut s,
+                self.now,
+                self.reorder_parked,
+            );
+            par.scratch[p] = Some(s);
+        }
+        for _ in 0..dispatched {
+            let (p, s) = rx
+                .recv()
+                .expect("a partition job panicked (see stderr for the worker's panic)");
+            par.scratch[p] = Some(s);
+        }
+
+        // Reclaim the lent state and fold the scalar effects (all
+        // commutative — order across partitions cannot matter).
+        let mut cursors: Vec<Option<MergeCursor<P>>> =
+            (0..par.scratch.len()).map(|_| None).collect();
+        for &p in &launched {
+            let s = par.scratch[p].as_mut().expect("job returned its scratch");
+            for &v in &par.parts.vertices[p] {
+                let v = v as usize;
+                std::mem::swap(&mut self.cores[v], &mut s.cores[v]);
+                if v < num_nodes {
+                    std::mem::swap(&mut self.endpoints[v], &mut s.endpoints[v]);
+                }
+            }
+            for &li in &par.parts.links[p] {
+                let li = li as usize;
+                self.next_free[li] = s.next_free[li];
+                self.free_scheduled[li] = s.free_scheduled[li];
+            }
+            let out = std::mem::take(&mut s.out);
+            self.processed += out.processed;
+            self.copies_outstanding -= out.processed;
+            self.reorder_parked = (self.reorder_parked as isize + out.parked_delta) as usize;
+            self.link_free_pending =
+                (self.link_free_pending as isize + out.link_free_delta) as usize;
+            self.buffer_high_water = self.buffer_high_water.max(out.buffer_high_water);
+            self.ordering_delay.merge(&out.ordering_delay);
+            cursors[p] = Some(MergeCursor {
+                em: out.emissions.into_iter(),
+                de: out.deliveries.into_iter(),
+                marks: out.marks,
+                next_mark: 0,
+                e_done: 0,
+                d_done: 0,
+            });
+        }
+
+        // Replay emissions and deliveries in the order the serial loop
+        // would have produced them: walk the parents in pop order, and
+        // for each parent flush exactly its recorded output range.
+        let parent_order = std::mem::take(&mut self.parent_order);
+        for &p in &parent_order {
+            let c = cursors[p as usize]
+                .as_mut()
+                .expect("partition was launched");
+            let (e_end, d_end) = c.marks[c.next_mark];
+            c.next_mark += 1;
+            while c.e_done < e_end {
+                let (at, ev) = c.em.next().expect("mark within bounds");
+                debug_assert!(at > self.now, "emission at the open instant");
+                self.events.schedule(at, ev);
+                c.e_done += 1;
+            }
+            while c.d_done < d_end {
+                self.deliveries
+                    .push(c.de.next().expect("mark within bounds"));
+                c.d_done += 1;
+            }
+        }
+        self.parent_order = parent_order;
+        self.par = Some(par);
+    }
+}
+
+/// Per-partition consumption state of the ordered merge.
+struct MergeCursor<P> {
+    em: std::vec::IntoIter<(Time, Ev<P>)>,
+    de: std::vec::IntoIter<DetailedDelivery<P>>,
+    marks: Vec<(u32, u32)>,
+    next_mark: usize,
+    e_done: u32,
+    d_done: u32,
+}
+
+/// Steps one partition's slice of an instant to completion: the body of
+/// a frontier-pool job, and also run inline on the caller thread for one
+/// partition per instant so the caller contributes work instead of
+/// sleeping on the merge channel.
+fn step_partition<P>(
+    cfg: &DetailedNetConfig,
+    fabric: &Fabric,
+    topo: &PlaneTopo,
+    s: &mut PartScratch<P>,
+    now: Time,
+    parked: usize,
+) {
+    let mut events = std::mem::take(&mut s.events);
+    let mut out = std::mem::take(&mut s.out);
+    {
+        let mut eng = EngineState {
+            cfg,
+            fabric,
+            topo,
+            cores: &mut s.cores,
+            endpoints: &mut s.endpoints,
+            next_free: &mut s.next_free,
+            free_scheduled: &mut s.free_scheduled,
+            parked,
+            now,
+            out: &mut out,
+        };
+        for ev in events.drain(..) {
+            eng.step(ev);
+            eng.mark();
+        }
+    }
+    s.events = events;
+    s.out = out;
+}
+
+/// The event-step engine, borrowing whichever state slice it runs over:
+/// the whole [`DetailedNet`] on the serial path, one partition's
+/// [`PartScratch`] on the parallel path. All §2.2 rule processing lives
+/// here exactly once; every effect that crosses the slice boundary
+/// (scheduling, deliveries, global counters) goes through [`StepOut`].
+struct EngineState<'a, P> {
+    cfg: &'a DetailedNetConfig,
+    fabric: &'a Fabric,
+    topo: &'a PlaneTopo,
+    cores: &'a mut [Option<SwitchCore<FlightTxn<P>>>],
+    endpoints: &'a mut [EndpointExtra<P>],
+    next_free: &'a mut [Time],
+    free_scheduled: &'a mut [bool],
+    /// Reorder-queue population gate: the global count on the serial
+    /// path, the instant-start snapshot plus this partition's own deltas
+    /// on the parallel path. The two can disagree only when the queue
+    /// being gated is empty — where `drain_reorder` is a no-op — so the
+    /// gate stays a pure fast-path filter either way.
+    parked: usize,
+    now: Time,
+    out: &'a mut StepOut<P>,
+}
+
+impl<P> EngineState<'_, P> {
+    /// Processes one calendar event.
+    fn step(&mut self, ev: Ev<P>) {
+        match ev {
+            Ev::Deliver { link, item } => self.deliver(link, item),
+            Ev::LinkFree { link } => {
+                self.free_scheduled[link.index()] = false;
+                self.out.link_free_delta -= 1;
+                self.link_freed(link);
+            }
+        }
+    }
+
+    /// Records the end of one parent event's output (parallel merge
+    /// bookkeeping).
+    fn mark(&mut self) {
+        self.out.marks.push((
+            self.out.emissions.len() as u32,
+            self.out.deliveries.len() as u32,
+        ));
+    }
+
     fn core(&mut self, v: Vertex) -> &mut SwitchCore<FlightTxn<P>> {
         self.cores[v.index()]
             .as_mut()
@@ -533,8 +1118,12 @@ impl<P> DetailedNet<P> {
             .expect("vertex participates in this plane")
     }
 
+    fn emit(&mut self, at: Time, ev: Ev<P>) {
+        self.out.emissions.push((at, ev));
+    }
+
     fn deliver(&mut self, link: LinkId, item: Item<P>) {
-        let (to, port) = self.link_dest[link.index()];
+        let (to, port) = self.topo.link_dest[link.index()];
         let (to, port) = (Vertex(to), port as usize);
         match item {
             Item::Token => {
@@ -553,7 +1142,7 @@ impl<P> DetailedNet<P> {
             Item::Txn(boxed) => {
                 let mut ft = *boxed;
                 ft.slack = self.core(to).txn_enters(port, ft.slack); // rule 1
-                match to.as_node(self.fabric.num_nodes()) {
+                match to.as_node(self.topo.num_nodes) {
                     Some(node) => self.endpoint_receives(node, ft),
                     None => self.forward_branches(to, ft),
                 }
@@ -579,7 +1168,8 @@ impl<P> DetailedNet<P> {
                 arrival: self.now,
                 payload: ft.payload,
             }));
-        self.reorder_parked += 1;
+        self.parked += 1;
+        self.out.parked_delta += 1;
     }
 
     /// Processes every queued transaction whose ordering tick has *closed*.
@@ -611,12 +1201,13 @@ impl<P> DetailedNet<P> {
                 "transaction missed its batch at {node}: OT {} but GT already {gt}",
                 e.key.gt()
             );
-            self.ordering_delay
+            self.out
+                .ordering_delay
                 .record(self.now.saturating_since(e.arrival));
-            self.processed += 1;
-            self.copies_outstanding -= 1;
-            self.reorder_parked -= 1;
-            self.deliveries.push(DetailedDelivery {
+            self.out.processed += 1;
+            self.parked -= 1;
+            self.out.parked_delta -= 1;
+            self.out.deliveries.push(DetailedDelivery {
                 dest: node,
                 src: NodeId(e.key.src()),
                 seq: e.key.seq(),
@@ -632,9 +1223,9 @@ impl<P> DetailedNet<P> {
     /// `v`, sending immediately where the link is free and buffering
     /// otherwise.
     fn forward_branches(&mut self, v: Vertex, ft: FlightTxn<P>) {
-        // Clone the fabric handle so the tree can be walked while the
-        // sends mutate `self` — no per-hop branch buffer needed.
-        let fabric = Arc::clone(&self.fabric);
+        // Copy the fabric reference out so the tree can be walked while
+        // the sends mutate `self` — no per-hop branch buffer needed.
+        let fabric = self.fabric;
         let tree = fabric.tree(self.cfg.plane, ft.src);
         for &i in tree.branches_from(v) {
             let e = tree.edges[i as usize];
@@ -648,7 +1239,7 @@ impl<P> DetailedNet<P> {
             ft.slack += delta_d; // rule 3
             let at = self.now + self.cfg.link_latency;
             self.next_free[li] = self.now + self.cfg.link_occupancy;
-            self.events.schedule(
+            self.emit(
                 at,
                 Ev::Deliver {
                     link,
@@ -656,18 +1247,18 @@ impl<P> DetailedNet<P> {
                 },
             );
         } else {
-            let out_port = self.out_port_idx[li] as usize;
+            let out_port = self.topo.out_port_idx[li] as usize;
             let slack = ft.slack;
             let core = self.cores[v.index()]
                 .as_mut()
                 .expect("vertex participates in this plane");
             core.buffer(out_port, slack, delta_d, ft);
-            self.buffer_high_water = self.buffer_high_water.max(core.buffer_high_water());
+            self.out.buffer_high_water = self.out.buffer_high_water.max(core.buffer_high_water());
             if !self.free_scheduled[li] {
                 self.free_scheduled[li] = true;
-                self.link_free_pending += 1;
+                self.out.link_free_delta += 1;
                 let at = self.next_free[li];
-                self.events.schedule(at, Ev::LinkFree { link });
+                self.emit(at, Ev::LinkFree { link });
             }
         }
     }
@@ -678,18 +1269,18 @@ impl<P> DetailedNet<P> {
             // Another send claimed the link meanwhile; re-arm.
             if !self.free_scheduled[li] {
                 self.free_scheduled[li] = true;
-                self.link_free_pending += 1;
+                self.out.link_free_delta += 1;
                 let at = self.next_free[li];
-                self.events.schedule(at, Ev::LinkFree { link });
+                self.emit(at, Ev::LinkFree { link });
             }
             return;
         }
         let from = self.fabric.links()[li].from;
-        let out_port = self.out_port_idx[li] as usize;
+        let out_port = self.topo.out_port_idx[li] as usize;
         if let Some((slack, ft)) = self.core(from).pop_sendable(out_port) {
             let at = self.now + self.cfg.link_latency;
             self.next_free[li] = self.now + self.cfg.link_occupancy;
-            self.events.schedule(
+            self.emit(
                 at,
                 Ev::Deliver {
                     link,
@@ -698,9 +1289,9 @@ impl<P> DetailedNet<P> {
             );
             if self.core_ref(from).queued(out_port) > 0 && !self.free_scheduled[li] {
                 self.free_scheduled[li] = true;
-                self.link_free_pending += 1;
+                self.out.link_free_delta += 1;
                 let at = self.next_free[li];
-                self.events.schedule(at, Ev::LinkFree { link });
+                self.emit(at, Ev::LinkFree { link });
             }
             // Draining a zero-slack transaction may unblock the token wave.
             self.cascade(from);
@@ -721,23 +1312,23 @@ impl<P> DetailedNet<P> {
         if fired == 0 {
             return;
         }
-        // Emit `fired` tokens per output link, all at one instant. The
-        // out-link list is swapped out so the schedule loop can borrow
-        // the event queue mutably without re-indexing per iteration.
+        // Emit `fired` tokens per output link, all at one instant, in
+        // the order `schedule_batch` would have inserted them.
         let at = self.now + self.cfg.link_latency;
-        let links = std::mem::take(&mut self.vertex_out_links[v.index()]);
+        let topo = self.topo;
         for _ in 0..fired {
-            self.events.schedule_batch(
-                at,
-                links.iter().map(|&link| Ev::Deliver {
-                    link,
-                    item: Item::Token,
-                }),
-            );
+            for &link in &topo.vertex_out_links[v.index()] {
+                self.out.emissions.push((
+                    at,
+                    Ev::Deliver {
+                        link,
+                        item: Item::Token,
+                    },
+                ));
+            }
         }
-        self.vertex_out_links[v.index()] = links;
-        if self.reorder_parked > 0 {
-            if let Some(node) = v.as_node(self.fabric.num_nodes()) {
+        if self.parked > 0 {
+            if let Some(node) = v.as_node(self.topo.num_nodes) {
                 self.drain_reorder(node);
             }
         }
@@ -1040,5 +1631,98 @@ mod tests {
         assert!(stats.ordering_delay.max().unwrap() > stats.ordering_delay.min().unwrap());
         assert_eq!(stats.processed, 16);
         assert_eq!(stats.injected, 1);
+    }
+
+    /// One delivery, flattened: (dest, src, seq, ot, arrival,
+    /// processed_at, payload).
+    type TraceRow = (u16, u16, u64, Gt, Time, Time, u32);
+
+    /// Every observable bit of a finished run, flattened for equality
+    /// checks between serial and parallel executions.
+    fn full_trace(net: &mut DetailedNet<u32>) -> (Vec<TraceRow>, String) {
+        let log = net
+            .take_deliveries()
+            .iter()
+            .map(|d| {
+                (
+                    d.dest.0,
+                    d.src.0,
+                    d.seq,
+                    d.ot,
+                    d.arrival,
+                    d.processed_at,
+                    *d.payload,
+                )
+            })
+            .collect();
+        (log, format!("{:?}", net.stats()))
+    }
+
+    /// A contended mixed workload: bursty same-instant injections from
+    /// rotating sources, with link occupancy > latency so buffering,
+    /// LinkFree re-arms and token stalls all occur.
+    fn drive_contended(net: &mut DetailedNet<u32>) -> (Vec<TraceRow>, String) {
+        let mut t = 10u64;
+        for i in 0..48u32 {
+            let src = NodeId((i * 5 % 16) as u16);
+            net.inject(Time::from_ns(t), src, i);
+            t += if i % 3 == 0 { 0 } else { 17 };
+        }
+        net.run_until(Time::from_ns(60_000));
+        full_trace(net)
+    }
+
+    fn contended_cfg(gt_origin: Gt) -> DetailedNetConfig {
+        DetailedNetConfig {
+            link_occupancy: Duration::from_ns(40),
+            initial_slack: 3,
+            gt_origin,
+            ..DetailedNetConfig::default()
+        }
+    }
+
+    #[test]
+    fn pooled_run_reproduces_serial_bytes_at_every_thread_count() {
+        // Covered at both GT origins: zero and two ticks before an era
+        // rollover, so the parallel path crosses the era boundary too.
+        for origin in [Gt::ZERO, Gt::from_parts(0, Gt::TICK_MASK - 1)] {
+            let cfg = contended_cfg(origin);
+            let mut base = DetailedNet::new(Arc::new(Fabric::torus4x4()), cfg);
+            let want = drive_contended(&mut base);
+            for threads in [1usize, 2, 4, 8] {
+                let mut net = DetailedNet::new(Arc::new(Fabric::torus4x4()), cfg);
+                net.set_pool(Arc::new(FrontierPool::new(threads)));
+                let got = drive_contended(&mut net);
+                assert_eq!(got.0, want.0, "deliveries diverged at {threads} threads");
+                assert_eq!(got.1, want.1, "stats diverged at {threads} threads");
+                let ps = net.parallel_stats();
+                assert_eq!(ps.threads, threads as u64);
+                assert!(ps.instants > 0, "frontier path never engaged");
+                assert!(ps.events >= ps.instants * PAR_THRESHOLD as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_partition_assignments_are_byte_identical() {
+        use tss_sim::rng::SimRng;
+        let cfg = contended_cfg(Gt::ZERO);
+        let fabric = Fabric::butterfly(4, 2, 1);
+        let nv = fabric.num_nodes() + fabric.num_switches();
+        let mut base = DetailedNet::new(Arc::new(Fabric::butterfly(4, 2, 1)), cfg);
+        let want = drive_contended(&mut base);
+        let mut rng = SimRng::from_seed_and_stream(0xD37E, 7);
+        for round in 0..6 {
+            let parts = rng.gen_range(1..7);
+            let of_vertex: Vec<u32> = (0..nv).map(|_| rng.gen_range(0..parts) as u32).collect();
+            let threads = rng.gen_range(1..5) as usize;
+            let mut net = DetailedNet::new(Arc::new(Fabric::butterfly(4, 2, 1)), cfg);
+            net.set_partitions(Arc::new(FrontierPool::new(threads)), of_vertex.clone());
+            let got = drive_contended(&mut net);
+            assert_eq!(
+                got, want,
+                "partitioning {of_vertex:?} on {threads} threads diverged (round {round})"
+            );
+        }
     }
 }

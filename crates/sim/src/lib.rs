@@ -13,10 +13,12 @@
 //!   the perturbation methodology of the paper (§4.3),
 //! * [`stats`] — counters and histograms used for the paper's tables/figures.
 //!
-//! The kernel is intentionally single-threaded: the paper's evaluation models
-//! *logical* concurrency (16 processors, dozens of switches), which a
-//! sequential conservative-PDES-style event loop reproduces exactly and
-//! deterministically.
+//! The event loop itself stays deterministic whether it runs serially or
+//! in parallel: the paper's evaluation models *logical* concurrency (16+
+//! processors, dozens of switches), and the conservative-PDES machinery
+//! here — [`scheduler`] for work distribution, [`pool`] for the
+//! per-instant frontier pool — is built so a parallel run reproduces the
+//! sequential event order bit for bit.
 //!
 //! # Example
 //!
@@ -34,10 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod hash;
+pub mod pool;
 mod queue;
 pub mod rng;
+pub mod scheduler;
 pub mod stats;
 mod time;
 
+pub use pool::FrontierPool;
 pub use queue::EventQueue;
+pub use scheduler::{SchedulerStats, WorkStealScheduler};
 pub use time::{Duration, Gt, GtKey, Time};

@@ -1,0 +1,196 @@
+//! A small persistent thread pool for intra-instant parallelism.
+//!
+//! The conservative parallel event loop (see the `tss-net` detailed
+//! network) processes every event of one simulated instant concurrently:
+//! the instant's events are split by owner partition, each partition's
+//! batch becomes one [`Job`], and the caller blocks until the whole
+//! frontier is done before merging results back in canonical order.
+//! Instants are microseconds of host work, so the pool keeps its worker
+//! threads alive across instants — spawning per instant would dominate
+//! the work itself — and feeds them through the same
+//! [`WorkStealScheduler`] that drives grid cells and the sweep server.
+//!
+//! Completion is the caller's business (jobs typically send their result
+//! over an `mpsc` channel the caller then drains); [`FrontierPool::run_all`]
+//! wraps the common fire-and-wait case. A panicking job is caught on the
+//! worker (the default panic hook has already printed it), the worker
+//! survives, and the panic surfaces at the caller as a disconnected
+//! completion channel.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::scheduler::WorkStealScheduler;
+
+/// One unit of work executed on a pool worker.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of `threads` workers executing [`Job`]s.
+///
+/// Dropping the pool closes the scheduler and joins every worker; jobs
+/// already queued are still drained first.
+pub struct FrontierPool {
+    sched: Arc<WorkStealScheduler<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FrontierPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontierPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl FrontierPool {
+    /// Spawns a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> FrontierPool {
+        let threads = threads.max(1);
+        let sched: Arc<WorkStealScheduler<Job>> = Arc::new(WorkStealScheduler::new(threads));
+        let workers = (0..threads)
+            .map(|w| {
+                let sched = Arc::clone(&sched);
+                std::thread::Builder::new()
+                    .name(format!("frontier-{w}"))
+                    .spawn(move || {
+                        while let Some(job) = sched.next(w) {
+                            // Keep the worker alive across a panicking
+                            // job; the caller notices via its completion
+                            // channel disconnecting.
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                        }
+                    })
+                    .expect("spawn frontier worker")
+            })
+            .collect();
+        FrontierPool { sched, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a batch of jobs without waiting for them. Returns `false`
+    /// (dropping the jobs) only if the pool is already shutting down.
+    pub fn submit(&self, jobs: impl IntoIterator<Item = Job>) -> bool {
+        self.sched.submit_batch(jobs)
+    }
+
+    /// Runs every job and blocks until all of them finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked (after all jobs settled) or if the pool
+    /// is shutting down.
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use std::sync::Arc;
+    /// use tss_sim::pool::{FrontierPool, Job};
+    ///
+    /// let pool = FrontierPool::new(4);
+    /// let hits = Arc::new(AtomicU64::new(0));
+    /// pool.run_all((0..64).map(|_| {
+    ///     let hits = Arc::clone(&hits);
+    ///     Box::new(move || { hits.fetch_add(1, Ordering::Relaxed); }) as Job
+    /// }));
+    /// assert_eq!(hits.load(Ordering::Relaxed), 64);
+    /// ```
+    pub fn run_all(&self, jobs: impl IntoIterator<Item = Job>) {
+        let (tx, rx) = mpsc::channel();
+        let mut n = 0usize;
+        let wrapped: Vec<Job> = jobs
+            .into_iter()
+            .map(|job| {
+                n += 1;
+                let tx = tx.clone();
+                Box::new(move || {
+                    job();
+                    // Skipped when `job` panics: the sender is dropped
+                    // during unwind and the caller's recv errors out.
+                    let _ = tx.send(());
+                }) as Job
+            })
+            .collect();
+        drop(tx);
+        assert!(self.submit(wrapped), "frontier pool is shutting down");
+        for _ in 0..n {
+            rx.recv()
+                .expect("a frontier job panicked (see stderr for the worker's panic)");
+        }
+    }
+}
+
+impl Drop for FrontierPool {
+    fn drop(&mut self) {
+        self.sched.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn run_all_executes_every_job_exactly_once() {
+        let pool = FrontierPool::new(3);
+        let slots: Arc<Vec<AtomicU64>> = Arc::new((0..100).map(|_| AtomicU64::new(0)).collect());
+        // Several rounds over one pool: workers must survive idle gaps.
+        for _ in 0..5 {
+            pool.run_all((0..100).map(|i| {
+                let slots = Arc::clone(&slots);
+                Box::new(move || {
+                    slots[i].fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            }));
+        }
+        for s in slots.iter() {
+            assert_eq!(s.load(Ordering::Relaxed), 5);
+        }
+    }
+
+    #[test]
+    fn zero_threads_still_yields_a_worker() {
+        let pool = FrontierPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        pool.run_all(std::iter::empty());
+    }
+
+    #[test]
+    fn panicking_job_surfaces_at_the_caller_and_spares_the_pool() {
+        let pool = FrontierPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_all([Box::new(|| panic!("boom")) as Job]);
+        }));
+        assert!(caught.is_err(), "the panic must reach the caller");
+        // The pool is still usable afterwards.
+        let ok = Arc::new(AtomicU64::new(0));
+        let ok2 = Arc::clone(&ok);
+        pool.run_all([Box::new(move || {
+            ok2.store(7, Ordering::Relaxed);
+        }) as Job]);
+        assert_eq!(ok.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn drop_joins_workers_after_draining_queued_jobs() {
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let pool = FrontierPool::new(2);
+            for i in 0..20u64 {
+                let done = Arc::clone(&done);
+                assert!(pool.submit([Box::new(move || {
+                    done.fetch_add(i, Ordering::Relaxed);
+                }) as Job]));
+            }
+        } // drop: close + join, queued jobs still run
+        assert_eq!(done.load(Ordering::Relaxed), 19 * 20 / 2);
+    }
+}

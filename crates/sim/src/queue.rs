@@ -273,6 +273,44 @@ impl<E> EventQueue<E> {
         Some((at, event))
     }
 
+    /// Removes **every** event pending at the earliest instant, appending
+    /// them to `out` in FIFO order, and advances the clock to that
+    /// instant. Returns the instant, or `None` (touching nothing) when
+    /// the calendar is empty.
+    ///
+    /// This is the frontier primitive of the parallel event loop: one
+    /// simulated instant is popped wholesale, its events are processed
+    /// concurrently, and their emissions are re-scheduled afterwards —
+    /// which is only equivalent to [`EventQueue::pop`]-per-event when no
+    /// handler schedules *at* the popped instant (the detailed network
+    /// guarantees that: every emission is at least one link latency or
+    /// occupancy period in the future).
+    ///
+    /// Equivalent to calling `pop` while `peek_time()` returns the same
+    /// instant.
+    pub fn pop_head_instant_into(&mut self, out: &mut Vec<E>) -> Option<Time> {
+        let at = self.next_at?;
+        if self.ring_len == 0 {
+            // Only overflow events remain; their minimum is `at`, and the
+            // rebase migrates every entry at that instant (the window
+            // invariant keeps later same-instant stragglers impossible).
+            self.rebase(at.as_ns());
+        }
+        debug_assert!(!self.ring[self.cursor].is_empty(), "cursor points at min");
+        let n = {
+            let bucket = &mut self.ring[self.cursor];
+            let n = bucket.len();
+            out.extend(bucket.drain(..));
+            n
+        };
+        self.ring_len -= n;
+        self.now = at;
+        self.popped += n as u64;
+        self.occupied[self.cursor / 64] &= !(1 << (self.cursor % 64));
+        self.settle();
+        Some(at)
+    }
+
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
         self.next_at
@@ -611,6 +649,65 @@ mod tests {
             }
             assert!(q.is_empty());
         }
+    }
+
+    /// `pop_head_instant_into` must equal a run of single pops sharing
+    /// the head timestamp — across ties, window buckets, the overflow
+    /// boundary, and interleaved rescheduling (seeded loops, repo
+    /// convention).
+    #[test]
+    fn pop_head_instant_matches_repeated_pops() {
+        for case in 0..30u64 {
+            let mut rng = SimRng::from_seed_and_stream(case, 0x1057);
+            let mut batch = EventQueue::new();
+            let mut single = EventQueue::new();
+            let mut now = 0u64;
+            let mut id = 0u32;
+            for _ in 0..200 {
+                for _ in 0..1 + rng.gen_range(0..5) {
+                    let delta = match rng.gen_range(0..8) {
+                        0 => 0, // same-instant tie
+                        1..=5 => rng.gen_range(0..100),
+                        _ => rng.gen_range(0..3 * SPAN as u64),
+                    };
+                    let at = Time::from_ns(now + delta);
+                    batch.schedule(at, id);
+                    single.schedule(at, id);
+                    id += 1;
+                }
+                if rng.gen_range(0..3) == 0 {
+                    let mut got = Vec::new();
+                    let t = batch.pop_head_instant_into(&mut got);
+                    let t = t.expect("events were just scheduled");
+                    let mut want = Vec::new();
+                    while single.peek_time() == Some(t) {
+                        want.push(single.pop().expect("peeked").1);
+                    }
+                    assert_eq!(got, want, "case {case}: instant batch diverged");
+                    assert_eq!(batch.now(), single.now());
+                    assert_eq!(batch.len(), single.len());
+                    assert_eq!(batch.events_processed(), single.events_processed());
+                    now = t.as_ns();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pop_head_instant_on_empty_and_overflow_only_queues() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_head_instant_into(&mut out), None);
+        assert!(out.is_empty());
+        // Overflow-only head instant: the rebase path.
+        let far = Time::from_ns(SPAN as u64 * 5 + 7);
+        q.schedule(far, 1);
+        q.schedule(far, 2);
+        q.schedule(Time::from_ns(SPAN as u64 * 9), 3);
+        assert_eq!(q.pop_head_instant_into(&mut out), Some(far));
+        assert_eq!(out, vec![1, 2], "FIFO across the overflow migration");
+        assert_eq!(q.now(), far);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The work-stealing cell scheduler shared by local grid runs and the
-//! `sweep-server` service.
+//! The work-stealing scheduler shared by grid runs, the `sweep-server`
+//! service, and the in-cell frontier pool ([`crate::pool`]).
 //!
 //! PR 5's parallel grid runner handed cells to workers through a single
 //! shared cursor — effectively static round-robin once the cell list was
@@ -27,9 +27,10 @@
 //! The scheduler hands out opaque job payloads; executing them (and
 //! writing results into per-slot storage so report order stays
 //! deterministic regardless of execution order) is the caller's business.
-//! That split lets [`crate::experiment::ExperimentGrid`] drive it with
+//! That split lets the grid runner in the `tss` crate drive it with
 //! scoped borrowing threads while the server drives the same type from
-//! long-lived `Arc`-holding threads.
+//! long-lived `Arc`-holding threads and the per-instant frontier pool
+//! feeds it boxed closures.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -287,5 +288,57 @@ mod tests {
         assert_eq!(count.load(Ordering::Relaxed), 200, "each job exactly once");
         assert_eq!(sum.load(Ordering::Relaxed), 200 * 201 / 2);
         assert_eq!(s.stats().submitted, 200);
+    }
+
+    /// Stress for the in-cell frontier use: thousands of sub-microsecond
+    /// jobs on a handful of workers force constant steal contention. Each
+    /// job writes into its own index slot, so the final state must be
+    /// independent of which worker ran what in which order — and `close`
+    /// must stay safe however many times it is called, before, during,
+    /// and after the drain.
+    #[test]
+    fn steal_contention_preserves_per_slot_results_and_close_is_idempotent() {
+        const JOBS: usize = 4_096;
+        for workers in [2usize, 4, 8] {
+            let s: Arc<WorkStealScheduler<usize>> = Arc::new(WorkStealScheduler::new(workers));
+            let slots: Arc<Vec<AtomicU64>> =
+                Arc::new((0..JOBS).map(|_| AtomicU64::new(0)).collect());
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (s, slots) = (Arc::clone(&s), Arc::clone(&slots));
+                    std::thread::spawn(move || {
+                        while let Some(i) = s.next(w) {
+                            // A "simulation step": derive a value from the
+                            // slot index alone so execution order cannot
+                            // leak into the result.
+                            slots[i].fetch_add(i as u64 * 3 + 1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            // Many tiny batches maximise the window where some deques are
+            // empty while others still hold work — the steal path.
+            let ids: Vec<usize> = (0..JOBS).collect();
+            for chunk in ids.chunks(13) {
+                assert!(s.submit_batch(chunk.iter().copied()));
+            }
+            s.close();
+            s.close(); // idempotent while workers are still draining
+            for h in handles {
+                h.join().expect("worker thread");
+            }
+            s.close(); // idempotent after the drain too
+            assert_eq!(s.next(0), None, "closed and drained");
+            for (i, slot) in slots.iter().enumerate() {
+                assert_eq!(
+                    slot.load(Ordering::Relaxed),
+                    i as u64 * 3 + 1,
+                    "slot {i} must be written exactly once with its own value"
+                );
+            }
+            let stats = s.stats();
+            assert_eq!(stats.submitted, JOBS as u64);
+            assert_eq!(stats.abandoned, 0);
+        }
     }
 }
