@@ -9,8 +9,13 @@
 //!
 //! ```json
 //! { "<bench name>": { "wall_ms": 812.4, "events": 5,000,000,
-//!                     "ns_per_event": 162.5, "seed": 0 } }
+//!                     "ns_per_event": 162.5, "seed": 0, "threads": 0 } }
 //! ```
+//!
+//! The `threads` field records the frontier-worker count the entry was
+//! measured with (0 = serial) — a host caveat, since a parallel entry
+//! measured on a 1-CPU container reads as a regression when it is only
+//! oversubscription.
 //!
 //! Entries the current run does not produce (e.g. the frozen
 //! `*@pre_pr4` before-numbers) are preserved on merge, so the artifact
@@ -41,12 +46,14 @@ use tss_workloads::paper;
 
 /// Every bench this binary can run, in run order (the `--only` filter's
 /// vocabulary).
-const BENCH_NAMES: [&str; 8] = [
+const BENCH_NAMES: [&str; 10] = [
     "event_queue_micro",
     "fast_cell_oltp_butterfly",
     "detailed_cell_oltp_torus",
     "detailed_torus256_serial",
     "detailed_torus256_parallel",
+    "detailed_torus256_parallel@t2",
+    "detailed_torus256_parallel@t4",
     "fig3_fast_grid",
     "detailed_contention_grid",
     "remote_fast_grid",
@@ -70,11 +77,14 @@ options:
   --seed <n>        workload seed (default 0)
   --threads <n>     frontier workers for detailed_torus256_parallel
                     (default 4; results are byte-identical to serial —
-                    this knob only moves wall clock)
+                    this knob only moves wall clock; the @t2/@t4
+                    variants pin their own counts)
   --only <list>     run only these comma-separated benches (default all;
                     names: event_queue_micro, fast_cell_oltp_butterfly,
                     detailed_cell_oltp_torus, detailed_torus256_serial,
-                    detailed_torus256_parallel, fig3_fast_grid,
+                    detailed_torus256_parallel,
+                    detailed_torus256_parallel@t2,
+                    detailed_torus256_parallel@t4, fig3_fast_grid,
                     detailed_contention_grid, remote_fast_grid)
   --json <path>     where to merge the results (default BENCH_hotpath.json)
   --check <path>    compare ns_per_event against this baseline and fail on blow-up
@@ -157,6 +167,11 @@ struct Measurement {
     wall_ms: f64,
     events: u64,
     seed: u64,
+    /// Frontier workers this entry was measured with (0 = serial) —
+    /// recorded in the artifact so a parallel number can be read in
+    /// host context (4 workers on a 1-CPU container is oversubscription,
+    /// not a regression).
+    threads: u64,
 }
 
 impl Measurement {
@@ -203,6 +218,7 @@ fn event_queue_micro(seed: u64) -> Measurement {
         wall_ms,
         events: POPS,
         seed,
+        threads: 0,
     }
 }
 
@@ -228,6 +244,7 @@ fn fast_cell(args: &Args) -> Measurement {
         wall_ms,
         events: result.stats.events_processed,
         seed: args.seed,
+        threads: 0,
     }
 }
 
@@ -254,6 +271,7 @@ fn detailed_cell(args: &Args) -> Measurement {
         wall_ms,
         events: result.stats.events_processed,
         seed: args.seed,
+        threads: 0,
     }
 }
 
@@ -284,11 +302,19 @@ fn torus256_cell(args: &Args, threads: usize, name: &'static str) -> Measurement
             .expect("valid config")
             .run()
     });
+    let ipe = if result.perf.parallel_epochs == 0 {
+        0.0
+    } else {
+        result.perf.parallel_instants as f64 / result.perf.parallel_epochs as f64
+    };
     println!(
-        "  [{name}] events {}  parallel instants {} covering {} net events ({} threads)",
+        "  [{name}] events {}  parallel instants {} covering {} net events \
+         in {} epochs ({:.2} instants/epoch, {} threads)",
         result.stats.events_processed,
         result.perf.parallel_instants,
         result.perf.parallel_events,
+        result.perf.parallel_epochs,
+        ipe,
         result.perf.parallel_threads
     );
     Measurement {
@@ -296,6 +322,7 @@ fn torus256_cell(args: &Args, threads: usize, name: &'static str) -> Measurement
         wall_ms,
         events: result.stats.events_processed,
         seed: args.seed,
+        threads: threads as u64,
     }
 }
 
@@ -323,6 +350,7 @@ fn grid_bench(name: &'static str, args: &Args, net: NetworkModelSpec) -> Measure
         wall_ms,
         events,
         seed: args.seed,
+        threads: 0,
     }
 }
 
@@ -368,6 +396,7 @@ fn remote_fast_grid(args: &Args) -> Measurement {
         wall_ms,
         events,
         seed: args.seed,
+        threads: 0,
     }
 }
 
@@ -399,6 +428,7 @@ fn merge_json(path: &PathBuf, fresh: &[Measurement]) -> std::io::Result<()> {
                 serde_json::Value::F64(round2(m.ns_per_event())),
             ),
             ("seed".into(), serde_json::Value::U64(m.seed)),
+            ("threads".into(), serde_json::Value::U64(m.threads)),
         ]);
         match entries.iter_mut().find(|(k, _)| k == m.name) {
             Some((_, v)) => *v = obj,
@@ -442,6 +472,50 @@ fn check_against(
     Ok(failures)
 }
 
+/// The epoch-batching budget: when this run measured both the torus256
+/// serial bench and a >= 4-worker parallel one, the parallel entry must
+/// stay within 5% of the serial ns/event — the win batching locked in.
+/// Only meaningful on a host with >= 4 CPUs; elsewhere the workers just
+/// oversubscribe one core and the comparison says nothing, so the check
+/// reports itself skipped instead.
+fn check_parallel_budget(fresh: &[Measurement]) -> Result<(), String> {
+    const BUDGET: f64 = 1.05;
+    let Some(serial) = fresh.iter().find(|m| m.name == "detailed_torus256_serial") else {
+        return Ok(());
+    };
+    let Some(par) = fresh
+        .iter()
+        .find(|m| m.name.starts_with("detailed_torus256_parallel") && m.threads >= 4)
+    else {
+        return Ok(());
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cpus < 4 {
+        println!(
+            "parallel budget: skipped ({cpus} CPUs; {} workers would oversubscribe)",
+            par.threads
+        );
+        return Ok(());
+    }
+    if serial.events > 0 && par.ns_per_event() > serial.ns_per_event() * BUDGET {
+        return Err(format!(
+            "PERF REGRESSION {}: {:.1} ns/event vs serial {:.1} (> {:.0}% budget)",
+            par.name,
+            par.ns_per_event(),
+            serial.ns_per_event(),
+            (BUDGET - 1.0) * 100.0
+        ));
+    }
+    println!(
+        "parallel budget: {} at {:.1} ns/event within {:.0}% of serial {:.1}",
+        par.name,
+        par.ns_per_event(),
+        (BUDGET - 1.0) * 100.0,
+        serial.ns_per_event()
+    );
+    Ok(())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -482,6 +556,12 @@ fn main() {
             args.threads,
             "detailed_torus256_parallel",
         ));
+    }
+    if wants("detailed_torus256_parallel@t2") {
+        measurements.push(torus256_cell(&args, 2, "detailed_torus256_parallel@t2"));
+    }
+    if wants("detailed_torus256_parallel@t4") {
+        measurements.push(torus256_cell(&args, 4, "detailed_torus256_parallel@t4"));
     }
     if wants("fig3_fast_grid") {
         measurements.push(grid_bench("fig3_fast_grid", &args, NetworkModelSpec::Fast));
@@ -541,6 +621,10 @@ fn main() {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             }
+        }
+        if let Err(e) = check_parallel_budget(&measurements) {
+            eprintln!("{e}");
+            std::process::exit(1);
         }
     }
 }

@@ -383,7 +383,14 @@ impl Cli {
     /// Runs a grid, reporting an invalid configuration (e.g. a degenerate
     /// `--topologies` entry) as a clean CLI error instead of a panic.
     pub fn run_grid(&self, grid: ExperimentGrid) -> GridReport {
-        grid.run().unwrap_or_else(|e| {
+        self.run_grid_with_perf(grid).0
+    }
+
+    /// Like [`Cli::run_grid`], but also returns the host-side counters
+    /// summed over the simulated cells, so binaries can print a
+    /// parallel-frontier summary next to the report table.
+    pub fn run_grid_with_perf(&self, grid: ExperimentGrid) -> (GridReport, tss::HostPerf) {
+        grid.run_with_perf().unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);
         })

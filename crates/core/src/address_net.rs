@@ -501,6 +501,8 @@ mod tests {
             assert_eq!(par, serial, "diverged at {threads} threads");
             assert_eq!(ps.threads, threads as u64);
             assert!(ps.instants > 0, "frontier path never engaged");
+            assert!(ps.epochs > 0, "instants must arrive in dispatch epochs");
+            assert!(ps.epochs <= ps.instants);
         }
     }
 }

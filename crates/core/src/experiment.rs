@@ -44,9 +44,9 @@ use crate::cellstore::CellStore;
 use crate::config::{
     ConfigError, NetworkModelSpec, ProtocolKind, SystemConfig, Timing, TopologyKind,
 };
-use crate::methodology::min_over_perturbations;
+use crate::methodology::min_over_perturbations_with_perf;
 use crate::scheduler::WorkStealScheduler;
-use crate::system::SystemStats;
+use crate::system::{HostPerf, SystemStats};
 
 /// Version stamp of the [`GridReport`] JSON schema. Bump when a field is
 /// renamed, removed, or changes meaning; additions are backward-safe for
@@ -1028,6 +1028,14 @@ impl ExperimentGrid {
     /// and reports. Equivalent to [`ExperimentGrid::plan`] +
     /// [`GridPlan::execute`] + [`GridPlan::report`].
     pub fn run(self) -> Result<GridReport, ConfigError> {
+        self.run_with_perf().map(|(report, _)| report)
+    }
+
+    /// Like [`ExperimentGrid::run`], but also returns the host-side
+    /// counters accumulated over every simulated (non-cached) cell, so
+    /// callers can surface whether the parallel frontier engaged. The
+    /// counters never enter the report bytes.
+    pub fn run_with_perf(self) -> Result<(GridReport, HostPerf), ConfigError> {
         let store = match &self.resume {
             None => None,
             Some(dir) => Some(CellStore::open(dir).map_err(|e| ConfigError::BadResumeDir {
@@ -1036,8 +1044,8 @@ impl ExperimentGrid {
             })?),
         };
         let plan = self.plan()?;
-        let cells = plan.execute(store.as_ref(), self.threads);
-        Ok(plan.report(cells))
+        let (cells, perf) = plan.execute_with_perf(store.as_ref(), self.threads);
+        Ok((plan.report(cells), perf))
     }
 }
 
@@ -1097,6 +1105,18 @@ impl GridPlan {
     /// each result lands in its cell's slot, so the output (and therefore
     /// the report bytes) is deterministic.
     pub fn execute(&self, store: Option<&CellStore>, threads: usize) -> Vec<RunReport> {
+        self.execute_with_perf(store, threads).0
+    }
+
+    /// Like [`GridPlan::execute`], but also returns the [`HostPerf`]
+    /// counters summed over every cell that actually simulated (cached
+    /// cells contribute nothing — no host work happened). The sum is
+    /// order-independent, so work stealing cannot perturb it.
+    pub fn execute_with_perf(
+        &self,
+        store: Option<&CellStore>,
+        threads: usize,
+    ) -> (Vec<RunReport>, HostPerf) {
         let workers = if threads > 0 {
             threads
         } else {
@@ -1109,13 +1129,18 @@ impl GridPlan {
         sched.submit_batch(0..self.cells.len());
         sched.close();
         let slots: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; self.cells.len()]);
+        let perf: Mutex<HostPerf> = Mutex::new(HostPerf::default());
 
         std::thread::scope(|scope| {
             for w in 0..workers {
-                let (sched, slots) = (&sched, &slots);
+                let (sched, slots, perf) = (&sched, &slots, &perf);
                 scope.spawn(move || {
                     while let Some(i) = sched.next(w) {
-                        let report = run_or_load_cell(store, &self.cells[i]);
+                        let (report, cell_perf) =
+                            run_or_load_cell_with_perf(store, &self.cells[i]);
+                        perf.lock()
+                            .expect("no worker panicked holding the lock")
+                            .absorb(&cell_perf);
                         slots.lock().expect("no worker panicked holding the lock")[i] =
                             Some(report);
                     }
@@ -1123,12 +1148,13 @@ impl GridPlan {
             }
         });
 
-        slots
+        let reports = slots
             .into_inner()
             .expect("workers joined")
             .into_iter()
             .map(|c| c.expect("every cell ran"))
-            .collect()
+            .collect();
+        (reports, perf.into_inner().expect("workers joined"))
     }
 
     /// Assembles the [`GridReport`] for this plan from its cells' reports,
@@ -1161,6 +1187,16 @@ impl GridPlan {
 /// otherwise. This is the unit of work both the local grid runner and the
 /// sweep server schedule.
 pub fn run_or_load_cell(store: Option<&CellStore>, plan: &CellPlan) -> RunReport {
+    run_or_load_cell_with_perf(store, plan).0
+}
+
+/// Like [`run_or_load_cell`], but also returns the host-side counters of
+/// the simulation (default/zero for cells served from the store — no
+/// host work happened, which is exactly what the counters measure).
+pub fn run_or_load_cell_with_perf(
+    store: Option<&CellStore>,
+    plan: &CellPlan,
+) -> (RunReport, HostPerf) {
     let (key, cfg, spec, runs) = (plan.key, &plan.cfg, &plan.spec, plan.runs);
     if let Some(store) = store {
         if let Some(mut cell) = store.load(key) {
@@ -1177,11 +1213,11 @@ pub fn run_or_load_cell(store: Option<&CellStore>, plan: &CellPlan) -> RunReport
             {
                 cell.cell_key = Some(key);
                 cell.cached = true;
-                return cell;
+                return (cell, HostPerf::default());
             }
         }
     }
-    let stats = min_over_perturbations(cfg, spec, runs);
+    let (stats, perf) = min_over_perturbations_with_perf(cfg, spec, runs);
     let mut report = RunReport::from_stats(spec.name.clone(), cfg, runs, stats);
     report.cell_key = Some(key);
     if let Some(store) = store {
@@ -1189,7 +1225,7 @@ pub fn run_or_load_cell(store: Option<&CellStore>, plan: &CellPlan) -> RunReport
         // kill a sweep that can still finish in memory.
         let _ = store.store(key, &report);
     }
-    report
+    (report, perf)
 }
 
 #[cfg(test)]

@@ -87,5 +87,5 @@ pub use cpu::Cpu;
 pub use experiment::{
     CellKey, CellPlan, ExperimentGrid, GridPlan, GridReport, MergeError, RunReport, ShardSpec,
 };
-pub use system::{RunResult, System, SystemStats, TrafficSummary};
+pub use system::{HostPerf, RunResult, System, SystemStats, TrafficSummary};
 pub use tss_sim::scheduler::{SchedulerStats, WorkStealScheduler};

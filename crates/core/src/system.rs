@@ -138,8 +138,25 @@ pub struct HostPerf {
     pub parallel_instants: u64,
     /// Events processed inside those parallel instants.
     pub parallel_events: u64,
+    /// Pool dispatches those instants were batched into; `epochs <
+    /// instants` means slack-horizon windows amortized dispatch cost.
+    pub parallel_epochs: u64,
     /// Frontier-pool worker threads attached (0 when serial).
     pub parallel_threads: u64,
+}
+
+impl HostPerf {
+    /// Accumulates another run's counters (threads keeps the max — it is
+    /// a configuration echo, not additive work).
+    pub fn absorb(&mut self, other: &HostPerf) {
+        self.events += other.events;
+        self.action_allocs_avoided += other.action_allocs_avoided;
+        self.waves_skipped += other.waves_skipped;
+        self.parallel_instants += other.parallel_instants;
+        self.parallel_events += other.parallel_events;
+        self.parallel_epochs += other.parallel_epochs;
+        self.parallel_threads = self.parallel_threads.max(other.parallel_threads);
+    }
 }
 
 #[derive(Debug)]
@@ -465,6 +482,7 @@ impl System {
                 waves_skipped: self.addr.as_ref().map_or(0, |a| a.waves_skipped()),
                 parallel_instants: par.instants,
                 parallel_events: par.events,
+                parallel_epochs: par.epochs,
                 parallel_threads: par.threads,
             },
         }

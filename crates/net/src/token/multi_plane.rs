@@ -175,6 +175,36 @@ impl<P: Send + Sync + 'static> MultiPlaneNet<P> {
                 p.fast_forward_idle(t);
             }
         }
+        if self.planes.len() == 1 {
+            // Single-plane shortcut: with one plane the min-GT frontier
+            // *is* that plane's own endpoint GT, and the release
+            // condition (`key.gt() < gt_min`) is exactly the condition
+            // the plane's own reorder drain already enforced — so every
+            // delivery's gate opens at its `processed_at`, and the heap
+            // drains completely at every collect. The plane can
+            // therefore run the whole span in one call (which is what
+            // lets its epoch batching see multi-horizon windows), with
+            // the per-horizon merge replayed afterwards from the
+            // `processed_at` groups — byte-identical to horizon-by-
+            // horizon stepping, including stamps and per-instant
+            // (node, key) release order.
+            self.planes[0].run_until(t);
+            let mut it = self.planes[0].take_deliveries().into_iter().peekable();
+            while let Some(d) = it.next() {
+                let at = d.processed_at;
+                self.push_merge(0, d);
+                while it.peek().is_some_and(|n| n.processed_at == at) {
+                    let d = it.next().expect("peeked");
+                    self.push_merge(0, d);
+                }
+                self.release_frontier(at);
+                debug_assert!(
+                    self.merge_pending == 0,
+                    "single-plane release held a delivery past its gate"
+                );
+            }
+            return;
+        }
         while let Some(next) = self
             .planes
             .iter()
@@ -195,28 +225,24 @@ impl<P: Send + Sync + 'static> MultiPlaneNet<P> {
 }
 
 impl<P> MultiPlaneNet<P> {
-    /// Collects per-plane deliveries into the per-endpoint merge heaps and
-    /// releases everything below the min-GT frontier, stamped `at`.
-    fn collect_and_release(&mut self, at: Time) {
-        for plane in 0..self.planes.len() {
-            for d in self.planes[plane].take_deliveries() {
-                // Per-source sequence numbers are per-plane; recover a
-                // global tiebreak from (plane count, seq) structure:
-                // within one source, plane assignment is round-robin,
-                // so (seq * planes + plane) restores injection order.
-                let seq_global = d.seq * self.planes.len() as u64 + plane as u64;
-                let e = MergeEntry {
-                    key: GtKey::with_src_seq(d.ot, d.src.0, seq_global),
-                    delivery: d,
-                };
-                self.merge[e.delivery.dest.index()].push(Reverse(e));
-                self.merge_pending += 1;
-            }
-        }
-        if self.merge_pending == 0 {
-            return; // skip the per-node GT scan on idle token rounds
-        }
-        // Release entries at or below the min-GT frontier of each node.
+    /// Pushes one plane delivery into its endpoint's merge heap.
+    fn push_merge(&mut self, plane: usize, d: DetailedDelivery<P>) {
+        // Per-source sequence numbers are per-plane; recover a
+        // global tiebreak from (plane count, seq) structure:
+        // within one source, plane assignment is round-robin,
+        // so (seq * planes + plane) restores injection order.
+        let seq_global = d.seq * self.planes.len() as u64 + plane as u64;
+        let e = MergeEntry {
+            key: GtKey::with_src_seq(d.ot, d.src.0, seq_global),
+            delivery: d,
+        };
+        self.merge[e.delivery.dest.index()].push(Reverse(e));
+        self.merge_pending += 1;
+    }
+
+    /// Releases every merged entry below its node's min-GT frontier,
+    /// stamped `at`, in (node, key) order.
+    fn release_frontier(&mut self, at: Time) {
         for node in 0..self.merge.len() {
             let gt_min = self
                 .planes
@@ -235,6 +261,20 @@ impl<P> MultiPlaneNet<P> {
                 self.merge_pending -= 1;
             }
         }
+    }
+
+    /// Collects per-plane deliveries into the per-endpoint merge heaps and
+    /// releases everything below the min-GT frontier, stamped `at`.
+    fn collect_and_release(&mut self, at: Time) {
+        for plane in 0..self.planes.len() {
+            for d in self.planes[plane].take_deliveries() {
+                self.push_merge(plane, d);
+            }
+        }
+        if self.merge_pending == 0 {
+            return; // skip the per-node GT scan on idle token rounds
+        }
+        self.release_frontier(at);
     }
 
     /// Takes the deliveries released so far (globally ordered per

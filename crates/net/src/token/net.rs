@@ -25,6 +25,34 @@
 //!    of their parent events, so calendar FIFO sequence numbers — and
 //!    with them every later tie-break — are assigned exactly as in the
 //!    serial run.
+//!
+//! # Epoch batching (slack-horizon windows)
+//!
+//! Dispatch cost is paid per fan-out, so the loop batches *windows* of
+//! consecutive instants into one dispatch epoch wherever the lookahead
+//! allows ([`EventQueue::pop_window_into`]). The window bound is the
+//! net's **lookahead** — at most one `link_latency` — and one further
+//! fact extends the per-instant argument to whole windows:
+//!
+//! 4. every `Deliver` emission is scheduled exactly `link_latency` after
+//!    its parent, so for a window spanning at most `link_latency` ns it
+//!    lands *past* the window's end; the only emissions that can land
+//!    inside the window are `LinkFree` re-arms, and a `LinkFree` is
+//!    always owned by the very vertex that emitted it. Cross-partition
+//!    traffic therefore never targets an in-window instant, and each
+//!    partition can run its whole window slice — pre-popped events plus
+//!    its own in-window emissions, offset by offset through a private
+//!    mini-calendar (`StepOut::win_buckets`) — without synchronizing.
+//!
+//! The merge then replays the window in (instant, parent-pop-order): per
+//! offset it consumes the pre-popped events' labels first (calendar pop
+//! order), then appends each consumed parent's in-window emission labels
+//! to their target offsets — by induction this is exactly the order the
+//! serial loop pops and schedules, so calendar FIFO sequence numbers,
+//! delivery order and every stats fold stay byte-identical. Safety never
+//! depends on *which* instants the window happens to contain: any bound
+//! in `[1, link_latency]` is valid (the property suite sweeps random
+//! ones), and a bound of 1 degenerates to the per-instant loop above.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -220,12 +248,22 @@ struct PlaneTopo {
 #[derive(Debug)]
 struct StepOut<P> {
     /// Events to schedule, in emission order (always strictly after the
-    /// instant being processed).
+    /// window being processed).
     emissions: Vec<(Time, Ev<P>)>,
     deliveries: Vec<DetailedDelivery<P>>,
-    /// Per processed event: (emissions len, deliveries len) afterwards —
-    /// the merge uses these to interleave partitions by parent order.
-    marks: Vec<(u32, u32)>,
+    /// Per processed event: (emissions len, deliveries len, in-window
+    /// emissions len) afterwards — the merge uses these to interleave
+    /// partitions by parent order.
+    marks: Vec<(u32, u32, u32)>,
+    /// Window offsets of the in-window emissions, in emission order —
+    /// the merge replays these as (offset, label) pairs so later offsets
+    /// interleave partitions exactly as the serial schedule order would.
+    win_times: Vec<u32>,
+    /// In-window emissions bucketed by window offset: this partition's
+    /// private mini-calendar, drained by its own per-offset loop
+    /// (`step_partition`). Only ever holds same-partition events (fact 4
+    /// of the module docs).
+    win_buckets: Vec<Vec<Ev<P>>>,
     /// Endpoint-copies processed (each also decrements the outstanding
     /// count by one).
     processed: u64,
@@ -241,6 +279,8 @@ impl<P> Default for StepOut<P> {
             emissions: Vec::new(),
             deliveries: Vec::new(),
             marks: Vec::new(),
+            win_times: Vec::new(),
+            win_buckets: Vec::new(),
             processed: 0,
             parked_delta: 0,
             link_free_delta: 0,
@@ -255,6 +295,7 @@ impl<P> StepOut<P> {
     /// drained by the caller, keeping their allocations).
     fn reset(&mut self) {
         debug_assert!(self.emissions.is_empty() && self.deliveries.is_empty());
+        debug_assert!(self.win_times.is_empty() && self.win_buckets.iter().all(Vec::is_empty));
         self.marks.clear();
         self.processed = 0;
         self.parked_delta = 0;
@@ -269,10 +310,19 @@ impl<P> StepOut<P> {
 /// [`PAR_THRESHOLD`] event count — are not counted).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ParStats {
-    /// Simulated instants whose events ran on the frontier pool.
+    /// Simulated (calendar-popped) instants whose events ran on the
+    /// frontier pool.
     pub instants: u64,
-    /// Events processed inside those instants.
+    /// Events processed inside those instants (as popped; in-window
+    /// emissions processed inside an epoch ride on top).
     pub events: u64,
+    /// Dispatch epochs: each is one pool fan-out covering a whole
+    /// lookahead window of instants. `epochs < instants` is the proof
+    /// that slack-horizon batching engaged (amortized dispatch);
+    /// `epochs == instants` means every window held a single instant
+    /// (zero-lookahead configs, or instants spaced at full link
+    /// latency).
+    pub epochs: u64,
     /// Worker threads of the attached pool (0 = serial).
     pub threads: u64,
 }
@@ -282,7 +332,19 @@ impl ParStats {
     pub fn absorb(&mut self, other: &ParStats) {
         self.instants += other.instants;
         self.events += other.events;
+        self.epochs += other.epochs;
         self.threads = self.threads.max(other.threads);
+    }
+
+    /// Mean window width: parallel instants per dispatch epoch (1.0 when
+    /// batching never merged consecutive instants; 0.0 before any epoch
+    /// ran).
+    pub fn instants_per_epoch(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.instants as f64 / self.epochs as f64
+        }
     }
 }
 
@@ -331,8 +393,12 @@ struct PartScratch<P> {
     endpoints: Vec<EndpointExtra<P>>,
     next_free: Vec<Time>,
     free_scheduled: Vec<bool>,
-    /// This partition's slice of the instant, in pop order.
+    /// This partition's slice of the epoch window, in pop order.
     events: Vec<Ev<P>>,
+    /// Window offset (ns past the window start) of each entry of
+    /// `events`, non-decreasing — pop order walks the window's instants
+    /// in time order.
+    event_offs: Vec<u32>,
     out: StepOut<P>,
 }
 
@@ -344,6 +410,7 @@ impl<P> PartScratch<P> {
             next_free: vec![Time::ZERO; num_links],
             free_scheduled: vec![false; num_links],
             events: Vec::new(),
+            event_offs: Vec::new(),
             out: StepOut::default(),
         }
     }
@@ -440,10 +507,19 @@ pub struct DetailedNet<P> {
     ff_generation: u64,
     /// Reusable effect buffer for the serial path.
     scratch_out: StepOut<P>,
-    /// Reusable head-instant buffer.
+    /// Reusable epoch-window buffer.
     instant_buf: Vec<Ev<P>>,
-    /// Partition of each event of the instant being merged, in pop order.
+    /// Partition of each event of the window being merged, in pop order.
     parent_order: Vec<u32>,
+    /// Reusable `(instant, event count)` spans of the popped window.
+    window_spans: Vec<(Time, u32)>,
+    /// Reusable per-offset replay label queues of the window merge.
+    replay_q: Vec<Vec<u32>>,
+    /// Epoch window bound (ns): consecutive instants within `lookahead`
+    /// of the window start batch into one dispatch epoch. At most
+    /// `link_latency` (the cross-partition propagation bound — see the
+    /// module docs); 1 disables batching (one instant per epoch).
+    lookahead: u64,
     /// Attached thread pool + partitioning (`None` = serial).
     par: Option<ParState<P>>,
 }
@@ -510,6 +586,18 @@ impl<P> DetailedNet<P> {
             num_nodes: fabric.num_nodes(),
         });
         let ledger = TrafficLedger::new(&fabric);
+        // Epoch lookahead: a window spanning at most one link latency is
+        // closed under cross-partition traffic (module docs, fact 4).
+        // `initial_slack` scales how much timing headroom the protocol
+        // itself guarantees, so slack 0 — transactions due exactly on
+        // time — conservatively degenerates to one-instant epochs.
+        // (Capped at the calendar's 1024 ns ring window: wider bounds
+        // gain nothing — the dispatch gate counts ring events only.)
+        let lookahead = cfg
+            .link_latency
+            .as_ns()
+            .min(cfg.initial_slack.saturating_mul(cfg.link_latency.as_ns()))
+            .clamp(1, 1024);
         let mut net = DetailedNet {
             endpoints: (0..fabric.num_nodes())
                 .map(|_| EndpointExtra::default())
@@ -536,6 +624,9 @@ impl<P> DetailedNet<P> {
             scratch_out: StepOut::default(),
             instant_buf: Vec::new(),
             parent_order: Vec::new(),
+            window_spans: Vec::new(),
+            replay_q: Vec::new(),
+            lookahead,
             par: None,
             fabric,
             cfg,
@@ -690,6 +781,34 @@ impl<P> DetailedNet<P> {
         self.par.as_ref().map(|p| p.stats).unwrap_or_default()
     }
 
+    /// The epoch window bound, in ns: consecutive instants closer to the
+    /// window start than this batch into one parallel dispatch epoch.
+    /// Computed at construction as
+    /// `min(link_latency, initial_slack × link_latency)` (≥ 1).
+    pub fn lookahead_bound(&self) -> u64 {
+        self.lookahead
+    }
+
+    /// Overrides the epoch window bound. A determinism-test / tuning
+    /// knob, not an accuracy knob: *every* bound in `[1, link_latency]`
+    /// must produce byte-identical results (the property suite sweeps
+    /// random ones), and `1` degenerates to the one-instant-per-epoch
+    /// dispatch of the pre-batching loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ns` is 0 or exceeds the link latency — a window
+    /// wider than one link hop could close over a cross-partition
+    /// delivery, voiding the lookahead argument.
+    pub fn set_lookahead_bound(&mut self, ns: u64) {
+        assert!(
+            ns >= 1 && ns <= self.cfg.link_latency.as_ns(),
+            "lookahead bound {ns} outside [1, link_latency = {}]",
+            self.cfg.link_latency.as_ns()
+        );
+        self.lookahead = ns;
+    }
+
     fn core_ref(&self, v: Vertex) -> &SwitchCore<FlightTxn<P>> {
         self.cores[v.index()]
             .as_ref()
@@ -720,6 +839,8 @@ impl<P> DetailedNet<P> {
                 free_scheduled: &mut self.free_scheduled,
                 parked: self.reorder_parked,
                 now: self.now,
+                win_base: self.now.as_ns(),
+                win_span: 0,
                 out: &mut out,
             };
             f(&mut eng);
@@ -790,20 +911,35 @@ impl<P: Send + Sync + 'static> DetailedNet<P> {
     }
 
     /// Advances the simulation through every event at or before `t`,
-    /// one whole instant at a time. With a pool attached
-    /// ([`DetailedNet::set_pool`]) large instants run partitioned across
-    /// threads; the observable state evolution is identical either way.
+    /// one epoch window at a time. With a pool attached
+    /// ([`DetailedNet::set_pool`]) large windows — up to
+    /// [`DetailedNet::lookahead_bound`] ns of consecutive instants — run
+    /// partitioned across threads in a single dispatch; everything else
+    /// runs instant by instant on the caller. The observable state
+    /// evolution is identical either way.
     pub fn run_until(&mut self, t: Time) {
         while let Some(at) = self.events.peek_time() {
             if at > t {
                 break;
             }
+            // Window end: never past `t` (later injections may land
+            // there), never spanning more than the lookahead bound.
+            let wlimit = Time::from_ns(at.as_ns().saturating_add(self.lookahead - 1).min(t.as_ns()));
             let mut buf = std::mem::take(&mut self.instant_buf);
-            self.events.pop_head_instant_into(&mut buf);
-            self.now = at;
-            if self.par.as_ref().is_some_and(|p| buf.len() >= p.threshold) {
-                self.run_instant_parallel(&mut buf);
+            if self
+                .par
+                .as_ref()
+                .is_some_and(|p| self.events.events_in_window(wlimit) >= p.threshold)
+            {
+                let mut spans = std::mem::take(&mut self.window_spans);
+                self.events.pop_window_into(wlimit, &mut buf, &mut spans);
+                self.now = spans.last().expect("head instant <= wlimit").0;
+                self.run_epoch_parallel(&mut buf, &spans);
+                spans.clear();
+                self.window_spans = spans;
             } else {
+                self.events.pop_head_instant_into(&mut buf);
+                self.now = at;
                 self.run_instant_serial(&mut buf);
             }
             self.instant_buf = buf;
@@ -859,26 +995,45 @@ impl<P: Send + Sync + 'static> DetailedNet<P> {
         });
     }
 
-    /// Processes one popped instant across the frontier pool: classify
-    /// by owner partition, lend each partition its slice of the state,
-    /// step all partitions concurrently, then merge emissions and
-    /// deliveries back in parent-event order (see the module docs for
-    /// why this is byte-identical to the serial loop).
-    fn run_instant_parallel(&mut self, buf: &mut Vec<Ev<P>>) {
+    /// Processes one popped epoch window across the frontier pool:
+    /// classify by owner partition, lend each partition its slice of the
+    /// state, step all partitions through the window concurrently (each
+    /// against its private mini-calendar), then merge emissions and
+    /// deliveries back in (instant, parent-pop) order (see the module
+    /// docs for why this is byte-identical to the serial loop).
+    ///
+    /// `spans` holds the window's `(instant, event count)` pairs in pop
+    /// order; `buf` their concatenated events. `self.now` must already
+    /// sit at the window's last instant.
+    fn run_epoch_parallel(&mut self, buf: &mut Vec<Ev<P>>, spans: &[(Time, u32)]) {
         let mut par = self.par.take().expect("checked by caller");
-        par.stats.instants += 1;
+        par.stats.epochs += 1;
+        par.stats.instants += spans.len() as u64;
         par.stats.events += buf.len() as u64;
         let num_nodes = self.fabric.num_nodes();
+        let t0 = spans[0].0.as_ns();
+        // Window span in ns (1 = a single instant, the PR 8 epoch shape).
+        let span = self.now.as_ns().wrapping_sub(t0) + 1;
+        debug_assert!(span <= self.lookahead);
 
-        // Classify in pop order; each partition's slice stays in order.
+        // Classify in pop order; each partition's slice stays in order,
+        // tagged with its instant's window offset.
         self.parent_order.clear();
+        let mut si = 0usize;
+        let mut left = spans[0].1;
         for ev in buf.drain(..) {
+            while left == 0 {
+                si += 1;
+                left = spans[si].1;
+            }
+            left -= 1;
+            let off = spans[si].0.as_ns().wrapping_sub(t0) as u32;
             let p = par.parts.of_vertex[self.owner(&ev)];
-            par.scratch[p as usize]
+            let s = par.scratch[p as usize]
                 .as_mut()
-                .expect("scratch parked between instants")
-                .events
-                .push(ev);
+                .expect("scratch parked between epochs");
+            s.events.push(ev);
+            s.event_offs.push(off);
             self.parent_order.push(p);
         }
 
@@ -921,11 +1076,10 @@ impl<P: Send + Sync + 'static> DetailedNet<P> {
             let cfg = self.cfg;
             let fabric = Arc::clone(&self.fabric);
             let topo = Arc::clone(&self.topo);
-            let now = self.now;
             let parked = self.reorder_parked;
             jobs.push(Box::new(move || {
                 let mut s = s;
-                step_partition(&cfg, &fabric, &topo, &mut s, now, parked);
+                step_partition(&cfg, &fabric, &topo, &mut s, t0, span, parked);
                 let _ = tx.send((p, s));
             }) as Job);
         }
@@ -940,7 +1094,8 @@ impl<P: Send + Sync + 'static> DetailedNet<P> {
                 &self.fabric,
                 &self.topo,
                 &mut s,
-                self.now,
+                t0,
+                span,
                 self.reorder_parked,
             );
             par.scratch[p] = Some(s);
@@ -981,35 +1136,66 @@ impl<P: Send + Sync + 'static> DetailedNet<P> {
             cursors[p] = Some(MergeCursor {
                 em: out.emissions.into_iter(),
                 de: out.deliveries.into_iter(),
+                win: out.win_times.into_iter(),
                 marks: out.marks,
                 next_mark: 0,
                 e_done: 0,
                 d_done: 0,
+                w_done: 0,
             });
         }
 
         // Replay emissions and deliveries in the order the serial loop
-        // would have produced them: walk the parents in pop order, and
-        // for each parent flush exactly its recorded output range.
+        // would have produced them. Serially the window runs offset by
+        // offset, each instant processing its pre-popped events (calendar
+        // pop order) followed by whatever earlier instants scheduled onto
+        // it (schedule order). `replay_q[o]` reproduces exactly that
+        // label sequence: seeded with the pre-popped parents per offset,
+        // extended in place as consumed parents reveal their in-window
+        // emission targets. Each consumed label flushes one mark's worth
+        // of output, so out-of-window emissions hit the shared calendar
+        // in serial schedule order — identical FIFO sequence numbers —
+        // and deliveries append in serial processing order.
         let parent_order = std::mem::take(&mut self.parent_order);
-        for &p in &parent_order {
-            let c = cursors[p as usize]
-                .as_mut()
-                .expect("partition was launched");
-            let (e_end, d_end) = c.marks[c.next_mark];
-            c.next_mark += 1;
-            while c.e_done < e_end {
-                let (at, ev) = c.em.next().expect("mark within bounds");
-                debug_assert!(at > self.now, "emission at the open instant");
-                self.events.schedule(at, ev);
-                c.e_done += 1;
-            }
-            while c.d_done < d_end {
-                self.deliveries
-                    .push(c.de.next().expect("mark within bounds"));
-                c.d_done += 1;
+        let mut qs = std::mem::take(&mut self.replay_q);
+        qs.iter_mut().for_each(Vec::clear);
+        if qs.len() < span as usize {
+            qs.resize(span as usize, Vec::new());
+        }
+        let mut pi = 0usize;
+        for &(at, cnt) in spans {
+            let off = at.as_ns().wrapping_sub(t0) as usize;
+            qs[off].extend_from_slice(&parent_order[pi..pi + cnt as usize]);
+            pi += cnt as usize;
+        }
+        for o in 0..span as usize {
+            let mut qi = 0;
+            while qi < qs[o].len() {
+                let p = qs[o][qi] as usize;
+                qi += 1;
+                let c = cursors[p].as_mut().expect("partition was launched");
+                let (e_end, d_end, w_end) = c.marks[c.next_mark];
+                c.next_mark += 1;
+                while c.e_done < e_end {
+                    let (at, ev) = c.em.next().expect("mark within bounds");
+                    debug_assert!(at > self.now, "emission inside the popped window");
+                    self.events.schedule(at, ev);
+                    c.e_done += 1;
+                }
+                while c.d_done < d_end {
+                    self.deliveries
+                        .push(c.de.next().expect("mark within bounds"));
+                    c.d_done += 1;
+                }
+                while c.w_done < w_end {
+                    let off = c.win.next().expect("mark within bounds") as usize;
+                    debug_assert!(off > o, "in-window emission not strictly future");
+                    qs[off].push(p as u32);
+                    c.w_done += 1;
+                }
             }
         }
+        self.replay_q = qs;
         self.parent_order = parent_order;
         self.par = Some(par);
     }
@@ -1019,45 +1205,95 @@ impl<P: Send + Sync + 'static> DetailedNet<P> {
 struct MergeCursor<P> {
     em: std::vec::IntoIter<(Time, Ev<P>)>,
     de: std::vec::IntoIter<DetailedDelivery<P>>,
-    marks: Vec<(u32, u32)>,
+    win: std::vec::IntoIter<u32>,
+    marks: Vec<(u32, u32, u32)>,
     next_mark: usize,
     e_done: u32,
     d_done: u32,
+    w_done: u32,
 }
 
-/// Steps one partition's slice of an instant to completion: the body of
-/// a frontier-pool job, and also run inline on the caller thread for one
-/// partition per instant so the caller contributes work instead of
+/// Steps one partition's slice of an epoch window to completion: the
+/// body of a frontier-pool job, and also run inline on the caller thread
+/// for one partition per epoch so the caller contributes work instead of
 /// sleeping on the merge channel.
+///
+/// The window `[t0, t0 + span)` runs offset by offset: each offset
+/// processes the partition's pre-popped events first (calendar pop
+/// order), then drains the offset's bucket of the partition's own
+/// in-window emissions (emission order) — same-partition `LinkFree`s,
+/// the only emissions a lookahead-bounded window can contain (module
+/// docs, fact 4). Emissions always target strictly later offsets, so
+/// taking the bucket before stepping an offset can drop nothing.
 fn step_partition<P>(
     cfg: &DetailedNetConfig,
     fabric: &Fabric,
     topo: &PlaneTopo,
     s: &mut PartScratch<P>,
-    now: Time,
+    t0: u64,
+    span: u64,
     parked: usize,
 ) {
     let mut events = std::mem::take(&mut s.events);
+    let offs = std::mem::take(&mut s.event_offs);
     let mut out = std::mem::take(&mut s.out);
+    let mut parked = parked;
     {
-        let mut eng = EngineState {
-            cfg,
-            fabric,
-            topo,
-            cores: &mut s.cores,
-            endpoints: &mut s.endpoints,
-            next_free: &mut s.next_free,
-            free_scheduled: &mut s.free_scheduled,
-            parked,
-            now,
-            out: &mut out,
-        };
-        for ev in events.drain(..) {
-            eng.step(ev);
-            eng.mark();
+        let mut ev_iter = events.drain(..);
+        let mut oi = 0usize;
+        for o in 0..span as u32 {
+            let mut pre = 0usize;
+            while oi + pre < offs.len() && offs[oi + pre] == o {
+                pre += 1;
+            }
+            let mut bucket = match out.win_buckets.get_mut(o as usize) {
+                Some(b) if !b.is_empty() => std::mem::take(b),
+                _ => Vec::new(),
+            };
+            if pre == 0 && bucket.is_empty() {
+                continue;
+            }
+            oi += pre;
+            {
+                let mut eng = EngineState {
+                    cfg,
+                    fabric,
+                    topo,
+                    cores: &mut s.cores,
+                    endpoints: &mut s.endpoints,
+                    next_free: &mut s.next_free,
+                    free_scheduled: &mut s.free_scheduled,
+                    parked,
+                    now: Time::from_ns(t0.wrapping_add(o as u64)),
+                    win_base: t0,
+                    win_span: span,
+                    out: &mut out,
+                };
+                for _ in 0..pre {
+                    let ev = ev_iter.next().expect("offsets track events");
+                    eng.step(ev);
+                    eng.mark();
+                }
+                for ev in bucket.drain(..) {
+                    eng.step(ev);
+                    eng.mark();
+                }
+                parked = eng.parked;
+            }
+            // Hand the emptied bucket's allocation back for reuse.
+            if let Some(b) = out.win_buckets.get_mut(o as usize) {
+                if b.is_empty() {
+                    *b = bucket;
+                }
+            }
         }
+        debug_assert!(ev_iter.next().is_none(), "window left events behind");
     }
+    debug_assert!(out.win_buckets.iter().all(Vec::is_empty));
+    let mut offs = offs;
+    offs.clear();
     s.events = events;
+    s.event_offs = offs;
     s.out = out;
 }
 
@@ -1081,6 +1317,12 @@ struct EngineState<'a, P> {
     /// gate stays a pure fast-path filter either way.
     parked: usize,
     now: Time,
+    /// Start (ns) of the epoch window being processed, and its width.
+    /// Emissions landing within `[win_base, win_base + win_span)` go to
+    /// the partition's private mini-calendar instead of the shared one.
+    /// `win_span` is 0 on the serial path: every emission is global.
+    win_base: u64,
+    win_span: u64,
     out: &'a mut StepOut<P>,
 }
 
@@ -1103,6 +1345,7 @@ impl<P> EngineState<'_, P> {
         self.out.marks.push((
             self.out.emissions.len() as u32,
             self.out.deliveries.len() as u32,
+            self.out.win_times.len() as u32,
         ));
     }
 
@@ -1119,7 +1362,21 @@ impl<P> EngineState<'_, P> {
     }
 
     fn emit(&mut self, at: Time, ev: Ev<P>) {
-        self.out.emissions.push((at, ev));
+        let off = at.as_ns().wrapping_sub(self.win_base);
+        if off < self.win_span {
+            // In-window: route to this partition's mini-calendar. Only
+            // same-vertex `LinkFree`s can land here (module docs, fact
+            // 4), so the bucket never crosses a partition boundary.
+            debug_assert!(at > self.now, "emission at the open instant");
+            self.out.win_times.push(off as u32);
+            let off = off as usize;
+            if self.out.win_buckets.len() <= off {
+                self.out.win_buckets.resize_with(off + 1, Vec::new);
+            }
+            self.out.win_buckets[off].push(ev);
+        } else {
+            self.out.emissions.push((at, ev));
+        }
     }
 
     fn deliver(&mut self, link: LinkId, item: Item<P>) {
@@ -1313,7 +1570,9 @@ impl<P> EngineState<'_, P> {
             return;
         }
         // Emit `fired` tokens per output link, all at one instant, in
-        // the order `schedule_batch` would have inserted them.
+        // the order `schedule_batch` would have inserted them. These
+        // bypass `emit`: a full link latency ahead, they can never land
+        // inside an epoch window (whose span is at most one latency).
         let at = self.now + self.cfg.link_latency;
         let topo = self.topo;
         for _ in 0..fired {
@@ -1698,9 +1957,76 @@ mod tests {
                 let ps = net.parallel_stats();
                 assert_eq!(ps.threads, threads as u64);
                 assert!(ps.instants > 0, "frontier path never engaged");
-                assert!(ps.events >= ps.instants * PAR_THRESHOLD as u64);
+                // The dispatch gate counts the whole window, so the
+                // per-epoch (not per-instant) event count clears the
+                // threshold.
+                assert!(ps.events >= ps.epochs * PAR_THRESHOLD as u64);
+                assert!(
+                    ps.epochs < ps.instants,
+                    "slack-horizon batching never engaged: {ps:?}"
+                );
+                assert!(ps.instants_per_epoch() > 1.0);
             }
         }
+    }
+
+    #[test]
+    fn random_lookahead_and_partitions_are_byte_identical() {
+        use tss_sim::rng::SimRng;
+        // Sweep random lookahead bounds x random vertex->partition maps
+        // x era origins: every combination must reproduce the serial
+        // bytes exactly. Catches window-boundary bugs at bounds the
+        // config would never pick on its own.
+        for origin in [Gt::ZERO, Gt::from_parts(0, Gt::TICK_MASK - 1)] {
+            let cfg = contended_cfg(origin);
+            let latency = cfg.link_latency.as_ns();
+            let fabric = Fabric::torus4x4();
+            let nv = fabric.num_nodes() + fabric.num_switches();
+            let mut base = DetailedNet::new(Arc::new(Fabric::torus4x4()), cfg);
+            let want = drive_contended(&mut base);
+            let mut rng = SimRng::from_seed_and_stream(0x10AE, 11);
+            for round in 0..8 {
+                let bound = rng.gen_range(1..latency + 1);
+                let parts = rng.gen_range(1..6);
+                let of_vertex: Vec<u32> =
+                    (0..nv).map(|_| rng.gen_range(0..parts) as u32).collect();
+                let threads = rng.gen_range(1..5) as usize;
+                let mut net = DetailedNet::new(Arc::new(Fabric::torus4x4()), cfg);
+                net.set_partitions(Arc::new(FrontierPool::new(threads)), of_vertex.clone());
+                net.set_lookahead_bound(bound);
+                let got = drive_contended(&mut net);
+                assert_eq!(
+                    got, want,
+                    "bound {bound} partitioning {of_vertex:?} on {threads} threads \
+                     diverged (round {round}, origin {origin:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_degenerates_to_one_instant_per_epoch() {
+        // A config with no slack headroom clamps the bound to 1 ns...
+        let cfg = DetailedNetConfig {
+            initial_slack: 0,
+            ..contended_cfg(Gt::ZERO)
+        };
+        let net = DetailedNet::<u32>::new(Arc::new(Fabric::torus4x4()), cfg);
+        assert_eq!(net.lookahead_bound(), 1);
+        // ...and a 1 ns window holds exactly one instant, reproducing
+        // the pre-batching one-instant-per-epoch loop byte for byte.
+        let cfg = contended_cfg(Gt::ZERO);
+        let mut base = DetailedNet::new(Arc::new(Fabric::torus4x4()), cfg);
+        let want = drive_contended(&mut base);
+        let mut net = DetailedNet::new(Arc::new(Fabric::torus4x4()), cfg);
+        net.set_pool(Arc::new(FrontierPool::new(4)));
+        net.set_lookahead_bound(1);
+        let got = drive_contended(&mut net);
+        assert_eq!(got, want, "degenerate window diverged from serial");
+        let ps = net.parallel_stats();
+        assert!(ps.epochs > 0, "frontier path never engaged");
+        assert_eq!(ps.epochs, ps.instants, "a 1 ns window batched instants");
+        assert_eq!(ps.instants_per_epoch(), 1.0);
     }
 
     #[test]
