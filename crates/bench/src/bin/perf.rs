@@ -46,9 +46,10 @@ use tss_workloads::paper;
 
 /// Every bench this binary can run, in run order (the `--only` filter's
 /// vocabulary).
-const BENCH_NAMES: [&str; 10] = [
+const BENCH_NAMES: [&str; 11] = [
     "event_queue_micro",
     "fast_cell_oltp_butterfly",
+    "tardis_oltp",
     "detailed_cell_oltp_torus",
     "detailed_torus256_serial",
     "detailed_torus256_parallel",
@@ -81,6 +82,7 @@ options:
                     variants pin their own counts)
   --only <list>     run only these comma-separated benches (default all;
                     names: event_queue_micro, fast_cell_oltp_butterfly,
+                    tardis_oltp,
                     detailed_cell_oltp_torus, detailed_torus256_serial,
                     detailed_torus256_parallel,
                     detailed_torus256_parallel@t2,
@@ -241,6 +243,33 @@ fn fast_cell(args: &Args) -> Measurement {
     );
     Measurement {
         name: "fast_cell_oltp_butterfly",
+        wall_ms,
+        events: result.stats.events_processed,
+        seed: args.seed,
+        threads: 0,
+    }
+}
+
+/// The same fast-model cell on the Tardis timestamp-lease protocol: the
+/// lease grant/expiry hot path (Gt comparisons on every shared read)
+/// instead of broadcast dispatch.
+fn tardis_cell(args: &Args) -> Measurement {
+    let (wall_ms, result) = time(|| {
+        System::builder()
+            .protocol(ProtocolKind::Tardis)
+            .topology(TopologyKind::Butterfly16)
+            .workload(paper::oltp(args.scale))
+            .seed(args.seed)
+            .build()
+            .expect("valid config")
+            .run()
+    });
+    println!(
+        "  [tardis_oltp] events {}  lease renewals {}",
+        result.stats.events_processed, result.stats.protocol.lease_renewals
+    );
+    Measurement {
+        name: "tardis_oltp",
         wall_ms,
         events: result.stats.events_processed,
         seed: args.seed,
@@ -543,6 +572,9 @@ fn main() {
     }
     if wants("fast_cell_oltp_butterfly") {
         measurements.push(fast_cell(&args));
+    }
+    if wants("tardis_oltp") {
+        measurements.push(tardis_cell(&args));
     }
     if wants("detailed_cell_oltp_torus") {
         measurements.push(detailed_cell(&args));

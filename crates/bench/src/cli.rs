@@ -85,7 +85,9 @@ options:
   --seeds <n>         perturbation runs per cell (default 3)
   --perturbation <ns> max response jitter in ns (default 4)
   --seed <n>          workload seed (default 0)
-  --protocols <list>  comma-separated: ts-snoop,dir-classic,dir-opt
+  --protocols <list>  comma-separated: ts-snoop,dir-classic,dir-opt,tardis
+                      (default is the paper's three; add tardis to
+                      compare lease-renewal vs broadcast traffic)
   --topologies <list> comma-separated: butterfly,torus,torus:WxH,butterfly:RxSxP
   --workloads <list>  comma-separated: oltp,dss,apache,altavista,barnes
   --net <model>       address network: fast (default) or

@@ -33,14 +33,29 @@ pub enum ProtocolKind {
     DirClassic,
     /// Nack-free directory with an ordered forward network.
     DirOpt,
+    /// Timestamp-lease coherence over plain unicast (Tardis): no
+    /// broadcast, no invalidations — shared copies expire in logical
+    /// time and renew their leases from home.
+    Tardis,
 }
 
 impl ProtocolKind {
-    /// All three protocols, in Figure 3 legend order.
+    /// The paper's three protocols, in Figure 3 legend order. This is
+    /// the default grid axis behind every committed artifact, so it
+    /// deliberately excludes [`ProtocolKind::Tardis`]; use
+    /// [`ProtocolKind::WITH_TARDIS`] for the four-way comparison.
     pub const ALL: [ProtocolKind; 3] = [
         ProtocolKind::TsSnoop,
         ProtocolKind::DirClassic,
         ProtocolKind::DirOpt,
+    ];
+
+    /// All four protocols: the paper's three plus Tardis.
+    pub const WITH_TARDIS: [ProtocolKind; 4] = [
+        ProtocolKind::TsSnoop,
+        ProtocolKind::DirClassic,
+        ProtocolKind::DirOpt,
+        ProtocolKind::Tardis,
     ];
 }
 
@@ -50,6 +65,7 @@ impl fmt::Display for ProtocolKind {
             ProtocolKind::TsSnoop => "TS-Snoop",
             ProtocolKind::DirClassic => "DirClassic",
             ProtocolKind::DirOpt => "DirOpt",
+            ProtocolKind::Tardis => "Tardis",
         };
         f.write_str(s)
     }
@@ -58,8 +74,8 @@ impl fmt::Display for ProtocolKind {
 impl FromStr for ProtocolKind {
     type Err = ConfigError;
 
-    /// Parses the CLI spellings: `ts-snoop`, `dir-classic`, `dir-opt`
-    /// (case-insensitive, hyphens optional).
+    /// Parses the CLI spellings: `ts-snoop`, `dir-classic`, `dir-opt`,
+    /// `tardis` (case-insensitive, hyphens optional).
     fn from_str(s: &str) -> Result<Self, ConfigError> {
         let folded: String = s
             .chars()
@@ -70,10 +86,11 @@ impl FromStr for ProtocolKind {
             "tssnoop" | "ts" | "snoop" => Ok(ProtocolKind::TsSnoop),
             "dirclassic" | "classic" => Ok(ProtocolKind::DirClassic),
             "diropt" | "opt" => Ok(ProtocolKind::DirOpt),
+            "tardis" | "lease" => Ok(ProtocolKind::Tardis),
             _ => Err(ConfigError::UnknownName {
                 what: "protocol",
                 given: s.to_string(),
-                expected: "ts-snoop, dir-classic, dir-opt",
+                expected: "ts-snoop, dir-classic, dir-opt, tardis",
             }),
         }
     }
@@ -864,7 +881,12 @@ mod tests {
     #[test]
     fn protocol_display() {
         assert_eq!(ProtocolKind::TsSnoop.to_string(), "TS-Snoop");
+        assert_eq!(ProtocolKind::Tardis.to_string(), "Tardis");
+        // ALL must stay the paper's three: it feeds every committed
+        // artifact's default grid axis.
         assert_eq!(ProtocolKind::ALL.len(), 3);
+        assert_eq!(ProtocolKind::WITH_TARDIS.len(), 4);
+        assert_eq!(&ProtocolKind::WITH_TARDIS[..3], &ProtocolKind::ALL[..]);
     }
 
     #[test]
@@ -882,6 +904,8 @@ mod tests {
             Ok(ProtocolKind::DirClassic)
         );
         assert_eq!("DirOpt".parse::<ProtocolKind>(), Ok(ProtocolKind::DirOpt));
+        assert_eq!("tardis".parse::<ProtocolKind>(), Ok(ProtocolKind::Tardis));
+        assert_eq!("Tardis".parse::<ProtocolKind>(), Ok(ProtocolKind::Tardis));
         assert!(matches!(
             "mesi".parse::<ProtocolKind>(),
             Err(ConfigError::UnknownName { .. })

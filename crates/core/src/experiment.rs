@@ -1457,4 +1457,50 @@ mod tests {
         assert_eq!(rebuilt.workloads, vec!["Barnes".to_string()]);
         assert_eq!(rebuilt.seeds, vec![1]);
     }
+
+    /// Guard for the Tardis protocol-axis extension: adding the fourth
+    /// `ProtocolKind` variant must not move a single pre-existing cell
+    /// key, and the code-revision salt must not bump (existing results
+    /// did not change). Same style as the `gt_origin`/`threads`
+    /// exclusion guards in `config.rs`: the canonical serialized
+    /// identity is pinned byte-for-byte via its fingerprint.
+    #[test]
+    fn tardis_variant_leaves_existing_cell_keys_unchanged() {
+        assert_eq!(CELL_REV, 4, "adding a protocol must not salt old cells");
+        let spec = paper::oltp(1.0 / 64.0);
+        let pinned = [
+            (ProtocolKind::TsSnoop, "d1e481f52e10406c2d843a2b85ee5367"),
+            (ProtocolKind::DirClassic, "836af557c65d7970a0f49e41e53d3f50"),
+            (ProtocolKind::DirOpt, "43f4f0900a69360ffacf45072058119a"),
+        ];
+        for (p, hex) in pinned {
+            let cfg = SystemConfig::paper_default(p, TopologyKind::Butterfly16);
+            assert_eq!(
+                CellKey::compute(&cfg, &spec, 3).to_hex(),
+                hex,
+                "{p}: pre-Tardis cell key moved"
+            );
+        }
+        // Tardis cells get their own fresh keys, colliding with none.
+        let cfg = SystemConfig::paper_default(ProtocolKind::Tardis, TopologyKind::Butterfly16);
+        let tardis = CellKey::compute(&cfg, &spec, 3).to_hex();
+        assert_eq!(tardis, "c475c13174faeca65681e453f4bf7a61");
+        assert!(pinned.iter().all(|(_, h)| *h != tardis));
+    }
+
+    /// The serialized protocol names feed the cell-key hash and every
+    /// committed artifact: pin them (the derive serializes by variant
+    /// name, so a rename would silently re-key the store).
+    #[test]
+    fn protocol_names_serialize_canonically() {
+        use serde::Serialize;
+        for (p, name) in [
+            (ProtocolKind::TsSnoop, "TsSnoop"),
+            (ProtocolKind::DirClassic, "DirClassic"),
+            (ProtocolKind::DirOpt, "DirOpt"),
+            (ProtocolKind::Tardis, "Tardis"),
+        ] {
+            assert_eq!(p.to_value(), serde_json::Value::Str(name.into()));
+        }
+    }
 }

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use tss_net::{MsgClass, NodeId, TrafficLedger, UnicastNet, VnetOrdering};
 use tss_proto::{
     AddrTxn, Block, CpuOp, DirClassic, DirOpt, DirTiming, Msg, ProtoAction, ProtoEvent, Protocol,
-    ProtocolStats, SnoopTiming, TsSnoop, Vnet,
+    ProtocolStats, SnoopTiming, Tardis, TsSnoop, Vnet,
 };
 use tss_sim::hash::FastSet;
 use tss_sim::rng::SimRng;
@@ -306,6 +306,19 @@ impl System {
                     d_cache: cfg.timing.d_cache,
                 },
                 cfg.verify,
+            )),
+            // Lease timestamps start at the same origin as the network
+            // guarantee times, so the --gt-origin rollover battery
+            // stresses both counters at once.
+            ProtocolKind::Tardis => Box::new(Tardis::new(
+                n,
+                cfg.cache,
+                DirTiming {
+                    d_mem: cfg.timing.d_mem,
+                    d_cache: cfg.timing.d_cache,
+                },
+                cfg.verify,
+                tss_sim::Gt::from_raw(cfg.gt_origin),
             )),
         };
 

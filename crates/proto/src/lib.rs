@@ -1,7 +1,7 @@
 //! Cache-coherence protocol engines for the timestamp-snooping
 //! reproduction (Martin et al., ASPLOS 2000, §3 and §4.2).
 //!
-//! Three MSI protocols, exactly the paper's line-up:
+//! The paper's three MSI protocols, plus a timestamp-lease descendant:
 //!
 //! * [`TsSnoop`] — broadcast snooping over the timestamp-ordered address
 //!   network, with the Synapse one-bit memory owner state and the §3
@@ -9,9 +9,12 @@
 //! * [`DirClassic`] — an SGI-Origin-2000-flavoured full-bit-vector
 //!   directory with busy states, nacks and invalidation-ack collection;
 //! * [`DirOpt`] — a nack-free directory relying on a point-to-point
-//!   ordered forward network.
+//!   ordered forward network;
+//! * [`Tardis`] — timestamp-lease coherence (Yu & Devadas) over plain
+//!   unicast: no broadcast, no invalidations, leases expire in logical
+//!   time instead.
 //!
-//! All three engines are *pure state machines* implementing the
+//! All four engines are *pure state machines* implementing the
 //! [`Protocol`] trait: the system layer (crate `tss`) owns time, networks
 //! and perturbation, and routes [`ProtoEvent`]s in / [`ProtoAction`]s out.
 //! Every store is an increment of the block's value, which lets the
@@ -39,6 +42,7 @@ mod cache;
 mod dir_classic;
 mod dir_opt;
 mod snoop;
+mod tardis;
 mod types;
 pub mod verify;
 
@@ -46,6 +50,7 @@ pub use cache::{CacheConfig, CacheState, L2Cache, Victim};
 pub use dir_classic::{DirClassic, DirTiming};
 pub use dir_opt::DirOpt;
 pub use snoop::{SnoopTiming, TsSnoop};
+pub use tardis::Tardis;
 pub use types::{
     AddrTxn, Block, CpuOp, Msg, ProtoAction, ProtoEvent, Protocol, ProtocolStats, TxnKind, Vnet,
     WbKey,

@@ -338,7 +338,7 @@ pub enum ProtoEvent {
 }
 
 /// Per-protocol counters for Table 3 and Figure 3/4 reporting.
-#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ProtocolStats {
     /// L2 misses (all kinds).
     pub misses: u64,
@@ -353,6 +353,58 @@ pub struct ProtocolStats {
     pub nacks: u64,
     /// Requests re-issued after a nack.
     pub retries: u64,
+    /// Expired shared copies re-leased from home (Tardis). The unicast
+    /// counterpart of broadcast ordering traffic: this is the load the
+    /// lease mechanism puts on the network as sharing grows.
+    pub lease_renewals: u64,
+    /// Read leases granted or extended by home (Tardis).
+    pub leases_granted: u64,
+}
+
+// Manual impls instead of the derive so the Tardis-only counters are
+// *omitted when zero*: the three broadcast/directory protocols never set
+// them, keeping every committed 3-protocol artifact byte-identical.
+// Legacy field order must track declaration order exactly — cell pins
+// hash serialized stats.
+impl serde::Serialize for ProtocolStats {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("misses".into(), self.misses.to_value()),
+            ("cache_to_cache".into(), self.cache_to_cache.to_value()),
+            ("hits".into(), self.hits.to_value()),
+            ("writebacks".into(), self.writebacks.to_value()),
+            ("nacks".into(), self.nacks.to_value()),
+            ("retries".into(), self.retries.to_value()),
+        ];
+        if self.lease_renewals != 0 {
+            fields.push(("lease_renewals".into(), self.lease_renewals.to_value()));
+        }
+        if self.leases_granted != 0 {
+            fields.push(("leases_granted".into(), self.leases_granted.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for ProtocolStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let optional = |key: &str| -> Result<u64, serde::Error> {
+            match v.get(key) {
+                Some(field) => serde::Deserialize::from_value(field),
+                None => Ok(0),
+            }
+        };
+        Ok(ProtocolStats {
+            misses: serde::de_field(v, "misses")?,
+            cache_to_cache: serde::de_field(v, "cache_to_cache")?,
+            hits: serde::de_field(v, "hits")?,
+            writebacks: serde::de_field(v, "writebacks")?,
+            nacks: serde::de_field(v, "nacks")?,
+            retries: serde::de_field(v, "retries")?,
+            lease_renewals: optional("lease_renewals")?,
+            leases_granted: optional("leases_granted")?,
+        })
+    }
 }
 
 /// A cache-coherence protocol engine: one object models the cache,
@@ -499,5 +551,71 @@ mod tests {
         ] {
             assert_eq!(m.block(), b);
         }
+    }
+
+    /// The Tardis lease counters must be invisible in any stats the
+    /// three broadcast/directory protocols produce: their serialized
+    /// form stays exactly the six legacy keys, in declaration order, so
+    /// every committed artifact remains byte-identical. Same style as
+    /// the `gt_origin`/`threads` exclusion guards in the core config.
+    #[test]
+    fn lease_counters_stay_out_of_zero_serialized_stats() {
+        use serde::{Deserialize, Serialize};
+        let keys_of = |s: &ProtocolStats| match s.to_value() {
+            serde::Value::Object(fields) => fields
+                .iter()
+                .map(|(k, _)| k.clone())
+                .collect::<Vec<String>>(),
+            other => panic!("stats must serialize to an object, got {other:?}"),
+        };
+        let legacy = ProtocolStats {
+            misses: 1,
+            cache_to_cache: 2,
+            hits: 3,
+            writebacks: 4,
+            nacks: 5,
+            retries: 6,
+            lease_renewals: 0,
+            leases_granted: 0,
+        };
+        assert_eq!(
+            keys_of(&legacy),
+            [
+                "misses",
+                "cache_to_cache",
+                "hits",
+                "writebacks",
+                "nacks",
+                "retries"
+            ]
+        );
+        // A legacy payload (no lease keys at all) still deserializes.
+        let back = ProtocolStats::from_value(&legacy.to_value()).unwrap();
+        assert_eq!(back.misses, 1);
+        assert_eq!(back.lease_renewals, 0);
+
+        // Tardis stats append their counters after the legacy keys and
+        // round-trip exactly.
+        let tardis = ProtocolStats {
+            lease_renewals: 7,
+            leases_granted: 8,
+            ..legacy
+        };
+        assert_eq!(
+            keys_of(&tardis),
+            [
+                "misses",
+                "cache_to_cache",
+                "hits",
+                "writebacks",
+                "nacks",
+                "retries",
+                "lease_renewals",
+                "leases_granted"
+            ]
+        );
+        let back = ProtocolStats::from_value(&tardis.to_value()).unwrap();
+        assert_eq!(back.lease_renewals, 7);
+        assert_eq!(back.leases_granted, 8);
     }
 }

@@ -239,7 +239,7 @@ fn random_traces(rng: &mut SimRng, ops: usize, cpus: usize) -> Vec<Vec<TraceItem
 fn protocols_preserve_all_stores() {
     for case in 0..24u64 {
         let mut rng = SimRng::from_seed_and_stream(case, 0x5702);
-        let protocol = ProtocolKind::ALL[rng.index(3)];
+        let protocol = ProtocolKind::WITH_TARDIS[rng.index(4)];
         let topology = [TopologyKind::Butterfly16, TopologyKind::Torus4x4][rng.index(2)];
         let ops = 1 + rng.index(119);
         let perturb = rng.gen_range(0..8);
@@ -257,5 +257,58 @@ fn protocols_preserve_all_stores() {
             .build()
             .unwrap_or_else(|e| panic!("case {case}: config invalid: {e}"))
             .run();
+    }
+}
+
+/// Tardis lease expiry/renewal straddling the era(16)|tick(48) rollover:
+/// seeded random workloads run with every logical timestamp (pts, wts,
+/// rts, lease ends) seeded just below `Gt::TICK_MASK` must reproduce the
+/// zero-origin run exactly — same per-op observed values, same lease
+/// bookkeeping — because all lease arithmetic goes through the wrapping
+/// [`Gt`] order. The system-level face of the `--gt-origin` battery, for
+/// the one protocol whose *coherence decisions* (not just its network
+/// ordering) ride on those counters.
+#[test]
+fn tardis_leases_are_origin_invariant_across_rollover() {
+    for case in 0..16u64 {
+        let mut rng = SimRng::from_seed_and_stream(case, 0x7A3D15);
+        let topology = [TopologyKind::Butterfly16, TopologyKind::Torus4x4][rng.index(2)];
+        let ops = 60 + rng.index(120);
+        let perturb = rng.gen_range(0..6);
+        let traces = random_traces(&mut rng, ops, 8);
+        let run = |origin: u64| {
+            let r = System::builder()
+                .protocol(ProtocolKind::Tardis)
+                .topology(topology)
+                .cache(tss_proto::CacheConfig::tiny(64, 2))
+                .verify(true)
+                .record_observations(true)
+                .perturbation_ns(perturb)
+                .seed(case)
+                .gt_origin(origin)
+                .traces(traces.clone())
+                .build()
+                .unwrap_or_else(|e| panic!("case {case}: config invalid: {e}"))
+                .run();
+            let p = r.stats.protocol;
+            (
+                r.observations,
+                (p.hits, p.misses, p.lease_renewals, p.leases_granted),
+            )
+        };
+        let (base_obs, base_counters) = run(0);
+        // Start 0..LEASE-ish ticks below the era edge so grants, commits
+        // and expiries all wrap mid-run.
+        let below = rng.gen_range(0..64);
+        let origin = Gt::from_parts(0, Gt::TICK_MASK - below).as_raw();
+        let (obs, counters) = run(origin);
+        assert_eq!(
+            obs, base_obs,
+            "case {case}: observed values diverged at origin TICK_MASK-{below}"
+        );
+        assert_eq!(
+            counters, base_counters,
+            "case {case}: lease bookkeeping diverged at origin TICK_MASK-{below}"
+        );
     }
 }

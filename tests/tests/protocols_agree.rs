@@ -1,8 +1,10 @@
-//! Cross-protocol agreement: all three protocols, run on the same
+//! Cross-protocol agreement: all four protocols, run on the same
 //! workload, must tell the same functional story — every store survives
 //! (checker), final values match across protocols, and the workload-level
 //! characteristics (misses, footprint) are protocol-independent to within
-//! timing noise.
+//! timing noise. Tardis gets a looser miss bound: lease expiry converts
+//! some would-be hits on shared blocks into renewal misses, which is its
+//! documented traffic economics, not a disagreement.
 
 use tss::{ProtocolKind, System, TopologyKind};
 use tss_proto::CacheConfig;
@@ -38,7 +40,7 @@ fn verified_random_workload_on_all_protocols_and_topologies() {
         let spec = small_spec(seed);
         for topology in [TopologyKind::Butterfly16, TopologyKind::Torus4x4] {
             let mut runs = Vec::new();
-            for protocol in ProtocolKind::ALL {
+            for protocol in ProtocolKind::WITH_TARDIS {
                 // run() panics on any checker violation or deadlock.
                 let r = System::builder()
                     .protocol(protocol)
@@ -63,8 +65,16 @@ fn verified_random_workload_on_all_protocols_and_topologies() {
                 "op totals diverge: {ops:?}"
             );
             // Misses may differ slightly (timing changes interleavings and
-            // what hits), but not wildly.
-            let misses: Vec<u64> = runs.iter().map(|(_, s)| s.protocol.misses).collect();
+            // what hits), but not wildly. The invalidation protocols stay
+            // within 25% of each other; Tardis trades invalidation traffic
+            // for lease renewals, so its misses run higher — bound it at
+            // 2x the best invalidation protocol rather than pretending the
+            // economics are identical.
+            let misses: Vec<u64> = runs
+                .iter()
+                .filter(|(p, _)| *p != ProtocolKind::Tardis)
+                .map(|(_, s)| s.protocol.misses)
+                .collect();
             let (lo, hi) = (
                 *misses.iter().min().unwrap() as f64,
                 *misses.iter().max().unwrap() as f64,
@@ -73,13 +83,29 @@ fn verified_random_workload_on_all_protocols_and_topologies() {
                 hi / lo < 1.25,
                 "{topology:?}: miss counts diverge across protocols: {misses:?}"
             );
+            let tardis = runs
+                .iter()
+                .find(|(p, _)| *p == ProtocolKind::Tardis)
+                .map(|(_, s)| s.protocol)
+                .unwrap();
+            assert!(
+                (tardis.misses as f64) < 2.0 * lo,
+                "{topology:?}: Tardis renewal misses out of range: {} vs {lo}",
+                tardis.misses
+            );
+            // And the renewals must actually be happening (the lease
+            // machinery is exercised, not bypassed).
+            assert!(
+                tardis.lease_renewals > 0 && tardis.leases_granted > 0,
+                "{topology:?}: Tardis ran without exercising leases"
+            );
         }
     }
 }
 
 #[test]
 fn lock_storm_is_coherent_everywhere() {
-    for protocol in ProtocolKind::ALL {
+    for protocol in ProtocolKind::WITH_TARDIS {
         let r = System::builder()
             .protocol(protocol)
             .topology(TopologyKind::Torus4x4)
@@ -95,7 +121,7 @@ fn lock_storm_is_coherent_everywhere() {
         // lock, all of which must survive (the checker verifies; the nack
         // count differentiates the protocols).
         assert_eq!(r.stats.protocol.misses + r.stats.protocol.hits, 16 * 12 * 5);
-        if protocol == ProtocolKind::DirOpt {
+        if protocol == ProtocolKind::DirOpt || protocol == ProtocolKind::Tardis {
             assert_eq!(r.stats.protocol.nacks, 0);
         }
     }
@@ -105,7 +131,7 @@ fn lock_storm_is_coherent_everywhere() {
 fn writeback_pressure_with_tiny_caches() {
     // One-way 8-set caches force constant dirty evictions: the writeback
     // races (PutM vs GETS/GETM crossings) get hammered on every protocol.
-    for protocol in ProtocolKind::ALL {
+    for protocol in ProtocolKind::WITH_TARDIS {
         let spec = WorkloadSpec {
             name: "wb-pressure".into(),
             ops_per_cpu: 600,
